@@ -1,0 +1,64 @@
+// Command vmprim regenerates the tables and figures of the
+// reconstructed SPAA 1989 evaluation (see DESIGN.md and
+// EXPERIMENTS.md).
+//
+// Usage:
+//
+//	vmprim -list             list experiment ids
+//	vmprim -exp E3           run one experiment and print its table
+//	vmprim -exp all          run every experiment (several minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vmprim/internal/bench"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	exp := flag.String("exp", "", "experiment id to run (E1..E5, F1..F3, A1..A3, or 'all')")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-3s  %s\n", e.ID, e.Title)
+		}
+	case *exp == "":
+		flag.Usage()
+		os.Exit(2)
+	case strings.EqualFold(*exp, "all"):
+		for _, e := range bench.All() {
+			if err := runOne(e); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+	default:
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		if err := runOne(e); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runOne(e bench.Experiment) error {
+	start := time.Now()
+	t, err := e.Run()
+	if err != nil {
+		return err
+	}
+	t.Fprint(os.Stdout)
+	fmt.Printf("  [host time %v]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}

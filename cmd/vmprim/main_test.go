@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"vmprim/internal/bench"
+)
+
+func TestRunOnePrintsTable(t *testing.T) {
+	// A fast experiment end-to-end through the CLI's runner path.
+	e, ok := bench.ByID("F1")
+	if !ok {
+		t.Fatal("F1 missing")
+	}
+	if err := runOne(e); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOneSurfacesErrors(t *testing.T) {
+	bad := bench.Experiment{ID: "ZZ", Title: "broken", Run: func() (*bench.Table, error) {
+		return nil, errTest
+	}}
+	if err := runOne(bad); err == nil {
+		t.Fatal("error swallowed")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test failure" }

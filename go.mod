@@ -1,0 +1,3 @@
+module vmprim
+
+go 1.22

@@ -1,0 +1,330 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmprim/internal/costmodel"
+	"vmprim/internal/embed"
+	"vmprim/internal/hypercube"
+	"vmprim/internal/serial"
+)
+
+func randSystem(rng *rand.Rand, n int) (*serial.Mat, []float64) {
+	a := serial.NewMat(n, n)
+	for i := range a.A {
+		a.A[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n)) // keep well-conditioned
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return a, b
+}
+
+func randLP(rng *rand.Rand, m, n int) ([]float64, *serial.Mat, []float64) {
+	a := serial.NewMat(m, n)
+	for i := range a.A {
+		a.A[i] = rng.Float64()*3 + 0.1
+	}
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.Float64()*8 + 1
+	}
+	c := make([]float64, n)
+	for i := range c {
+		c[i] = rng.Float64()*2 + 0.1
+	}
+	return c, a, b
+}
+
+func TestMatvecAllVariantsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, dim := range []int{0, 2, 4, 5} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for _, shape := range [][2]int{{4, 4}, {7, 9}, {16, 5}, {12, 12}} {
+			a := serial.NewMat(shape[0], shape[1])
+			for i := range a.A {
+				a.A[i] = rng.NormFloat64()
+			}
+			x := make([]float64, shape[0])
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			want := serial.VecMatMul(x, a)
+			for _, variant := range []MatvecVariant{MatvecPrimitive, MatvecFused, MatvecNaive} {
+				y, elapsed, _, err := RunVecMat(m, a, x, variant)
+				if err != nil {
+					t.Fatalf("dim %d %v: %v", dim, variant, err)
+				}
+				for j := range want {
+					if math.Abs(y[j]-want[j]) > 1e-9 {
+						t.Fatalf("dim %d %v: y[%d] = %v, want %v", dim, variant, j, y[j], want[j])
+					}
+				}
+				if dim > 0 && elapsed <= 0 {
+					t.Fatalf("dim %d %v: no simulated time elapsed", dim, variant)
+				}
+			}
+		}
+	}
+}
+
+func TestMatvecNaiveIsSlower(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	m := hypercube.MustNew(6, costmodel.CM2())
+	a := serial.NewMat(64, 64)
+	for i := range a.A {
+		a.A[i] = rng.NormFloat64()
+	}
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	_, tPrim, _, err := RunVecMat(m, a, x, MatvecFused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tNaive, _, err := RunVecMat(m, a, x, MatvecNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tNaive < 2*tPrim {
+		t.Fatalf("naive (%v) not clearly slower than primitives (%v)", tNaive, tPrim)
+	}
+}
+
+func TestGaussMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, dim := range []int{0, 2, 4} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for _, n := range []int{1, 2, 5, 12, 17} {
+			a, b := randSystem(rng, n)
+			want, err := serial.GaussSolve(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, kinds := range [][2]embed.MapKind{
+				{embed.Block, embed.Block},
+				{embed.Cyclic, embed.Cyclic},
+				{embed.Cyclic, embed.Block},
+			} {
+				x, _, err := SolveGauss(m, a, b, GaussOpts{RKind: kinds[0], CKind: kinds[1]})
+				if err != nil {
+					t.Fatalf("dim %d n %d kinds %v: %v", dim, n, kinds, err)
+				}
+				for i := range want {
+					if math.Abs(x[i]-want[i]) > 1e-7 {
+						t.Fatalf("dim %d n %d kinds %v: x[%d] = %v, want %v", dim, n, kinds, i, x[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGaussResidualSmall(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	m := hypercube.MustNew(4, costmodel.CM2())
+	a, b := randSystem(rng, 24)
+	x, _, err := SolveGauss(m, a, b, DefaultGaussOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := serial.Norm2(serial.Residual(a, x, b)); r > 1e-8 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestGaussNeedsPivoting(t *testing.T) {
+	// Zero in the leading diagonal position: fails without partial
+	// pivoting, must succeed with it.
+	m := hypercube.MustNew(2, costmodel.CM2())
+	a := serial.FromRows([][]float64{{0, 1, 2}, {1, 0, 1}, {2, 1, 0}})
+	b := []float64{5, 3, 4}
+	x, _, err := SolveGauss(m, a, b, DefaultGaussOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := serial.Norm2(serial.Residual(a, x, b)); r > 1e-10 {
+		t.Fatalf("residual %v", r)
+	}
+}
+
+func TestGaussSingularReportsError(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	a := serial.FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, _, err := SolveGauss(m, a, []float64{1, 2}, DefaultGaussOpts()); err == nil {
+		t.Fatal("singular system accepted")
+	}
+	if _, _, err := SolveGauss(m, a, []float64{1, 2}, GaussOpts{RKind: embed.Block, CKind: embed.Block, Naive: true}); err == nil {
+		t.Fatal("singular system accepted by naive kernel")
+	}
+}
+
+func TestGaussNaiveMatchesPrimitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, dim := range []int{0, 2, 4} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for _, n := range []int{3, 8, 13} {
+			a, b := randSystem(rng, n)
+			xp, tPrim, err := SolveGauss(m, a, b, DefaultGaussOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultGaussOpts()
+			opts.Naive = true
+			xn, tNaive, err := SolveGauss(m, a, b, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range xp {
+				if math.Abs(xp[i]-xn[i]) > 1e-9 {
+					t.Fatalf("dim %d n %d: primitive x[%d]=%v, naive %v", dim, n, i, xp[i], xn[i])
+				}
+			}
+			if dim >= 2 && tNaive <= tPrim {
+				t.Fatalf("dim %d n %d: naive (%v) not slower than primitives (%v)", dim, n, tNaive, tPrim)
+			}
+		}
+	}
+}
+
+func TestGaussValidation(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	if _, _, err := SolveGauss(m, serial.NewMat(2, 3), []float64{1, 2}, DefaultGaussOpts()); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, _, err := SolveGauss(m, serial.NewMat(2, 2), []float64{1}, DefaultGaussOpts()); err == nil {
+		t.Fatal("bad rhs accepted")
+	}
+}
+
+func TestSimplexMatchesSerialExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, dim := range []int{0, 2, 4} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for trial := 0; trial < 6; trial++ {
+			rows := 2 + rng.Intn(6)
+			cols := 2 + rng.Intn(6)
+			c, a, b := randLP(rng, rows, cols)
+			want, err := serial.SolveLP(c, a, b, 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, naive := range []bool{false, true} {
+				opts := DefaultSimplexOpts()
+				opts.Naive = naive
+				got, _, err := SolveSimplex(m, c, a, b, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Status != want.Status {
+					t.Fatalf("dim %d trial %d naive %v: status %v, want %v", dim, trial, naive, got.Status, want.Status)
+				}
+				if got.Iterations != want.Iterations {
+					t.Fatalf("dim %d trial %d naive %v: %d iterations, serial %d (pivot sequences diverged)",
+						dim, trial, naive, got.Iterations, want.Iterations)
+				}
+				if want.Status != serial.Optimal {
+					continue
+				}
+				if math.Abs(got.Z-want.Z) > 1e-9 {
+					t.Fatalf("dim %d trial %d naive %v: z=%v, want %v", dim, trial, naive, got.Z, want.Z)
+				}
+				for j := range want.X {
+					if math.Abs(got.X[j]-want.X[j]) > 1e-9 {
+						t.Fatalf("dim %d trial %d naive %v: x[%d]=%v, want %v", dim, trial, naive, j, got.X[j], want.X[j])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSimplexTextbookParallel(t *testing.T) {
+	m := hypercube.MustNew(3, costmodel.CM2())
+	a := serial.FromRows([][]float64{{1, 0}, {0, 2}, {3, 2}})
+	res, elapsed, err := SolveSimplex(m, []float64{3, 5}, a, []float64{4, 12, 18}, DefaultSimplexOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serial.Optimal || math.Abs(res.Z-36) > 1e-9 {
+		t.Fatalf("res = %+v", res)
+	}
+	if math.Abs(res.X[0]-2) > 1e-9 || math.Abs(res.X[1]-6) > 1e-9 {
+		t.Fatalf("x = %v", res.X)
+	}
+	if elapsed <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestSimplexUnboundedParallel(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	a := serial.FromRows([][]float64{{-1}})
+	for _, naive := range []bool{false, true} {
+		opts := DefaultSimplexOpts()
+		opts.Naive = naive
+		res, _, err := SolveSimplex(m, []float64{1}, a, []float64{1}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != serial.Unbounded {
+			t.Fatalf("naive %v: status %v", naive, res.Status)
+		}
+	}
+}
+
+func TestSimplexIterLimitParallel(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	a := serial.FromRows([][]float64{{1, 0}, {0, 2}, {3, 2}})
+	opts := DefaultSimplexOpts()
+	opts.MaxIter = 1
+	res, _, err := SolveSimplex(m, []float64{3, 5}, a, []float64{4, 12, 18}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serial.IterLimit {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestSimplexNaiveIsSlower(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	m := hypercube.MustNew(4, costmodel.CM2())
+	c, a, b := randLP(rng, 12, 16)
+	_, tPrim, err := SolveSimplex(m, c, a, b, DefaultSimplexOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultSimplexOpts()
+	opts.Naive = true
+	_, tNaive, err := SolveSimplex(m, c, a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tNaive < 2*tPrim {
+		t.Fatalf("naive (%v) not clearly slower than primitives (%v)", tNaive, tPrim)
+	}
+}
+
+func TestMatvecVariantStrings(t *testing.T) {
+	if MatvecPrimitive.String() != "primitive" || MatvecFused.String() != "fused" || MatvecNaive.String() != "naive" {
+		t.Fatal("variant strings")
+	}
+	if MatvecVariant(9).String() == "" {
+		t.Fatal("unknown variant string")
+	}
+}
+
+func TestRunVecMatValidation(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	if _, _, _, err := RunVecMat(m, serial.NewMat(3, 3), []float64{1}, MatvecFused); err == nil {
+		t.Fatal("bad x length accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmprim/internal/costmodel"
+	"vmprim/internal/hypercube"
+	"vmprim/internal/serial"
+)
+
+// bealeLP returns Beale's classic cycling example (maximization form):
+// the Dantzig rule with smallest-index tie-breaks cycles forever on it,
+// Bland's rule terminates at z* = 0.05.
+func bealeLP() (c []float64, a *serial.Mat, b []float64) {
+	c = []float64{0.75, -150, 0.02, -6}
+	a = serial.FromRows([][]float64{
+		{0.25, -60, -0.04, 9},
+		{0.5, -90, -0.02, 3},
+		{0, 0, 1, 0},
+	})
+	b = []float64{0, 0, 1}
+	return
+}
+
+func TestSerialDantzigCyclesOnBeale(t *testing.T) {
+	c, a, b := bealeLP()
+	res, err := serial.SolveLP(c, a, b, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serial.IterLimit {
+		t.Fatalf("Dantzig on Beale: %v after %d iters (expected to cycle)", res.Status, res.Iterations)
+	}
+}
+
+func TestSerialBlandTerminatesOnBeale(t *testing.T) {
+	c, a, b := bealeLP()
+	res, err := serial.SolveLPBland(c, a, b, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serial.Optimal {
+		t.Fatalf("Bland on Beale: %v", res.Status)
+	}
+	if math.Abs(res.Z-0.05) > 1e-9 {
+		t.Fatalf("Bland optimum %v, want 0.05", res.Z)
+	}
+}
+
+func TestParallelDantzigCyclesOnBealeToo(t *testing.T) {
+	// Pivot-sequence identity means the distributed Dantzig kernel
+	// must cycle on Beale exactly like the serial one.
+	m := hypercube.MustNew(3, costmodel.CM2())
+	c, a, b := bealeLP()
+	opts := DefaultSimplexOpts()
+	opts.MaxIter = 60
+	res, _, err := SolveSimplex(m, c, a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serial.IterLimit {
+		t.Fatalf("parallel Dantzig on Beale: %v after %d iters", res.Status, res.Iterations)
+	}
+}
+
+func TestParallelBlandMatchesSerialOnBeale(t *testing.T) {
+	m := hypercube.MustNew(3, costmodel.CM2())
+	c, a, b := bealeLP()
+	opts := DefaultSimplexOpts()
+	opts.Bland = true
+	res, _, err := SolveSimplex(m, c, a, b, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := serial.SolveLPBland(c, a, b, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != serial.Optimal || math.Abs(res.Z-0.05) > 1e-9 {
+		t.Fatalf("parallel Bland: %v z=%v", res.Status, res.Z)
+	}
+	if res.Iterations != want.Iterations {
+		t.Fatalf("parallel Bland %d pivots, serial %d", res.Iterations, want.Iterations)
+	}
+}
+
+func TestParallelBlandMatchesSerialOnRandomLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for _, dim := range []int{0, 2, 4} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for trial := 0; trial < 5; trial++ {
+			rows := 2 + rng.Intn(6)
+			cols := 2 + rng.Intn(6)
+			c, a, b := randLP(rng, rows, cols)
+			want, err := serial.SolveLPBland(c, a, b, 500)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultSimplexOpts()
+			opts.Bland = true
+			got, _, err := SolveSimplex(m, c, a, b, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Status != want.Status || got.Iterations != want.Iterations {
+				t.Fatalf("dim %d trial %d: (%v,%d), serial (%v,%d)",
+					dim, trial, got.Status, got.Iterations, want.Status, want.Iterations)
+			}
+			if want.Status == serial.Optimal && math.Abs(got.Z-want.Z) > 1e-9 {
+				t.Fatalf("dim %d trial %d: z=%v, want %v", dim, trial, got.Z, want.Z)
+			}
+		}
+	}
+}
+
+func TestBlandNaiveCombinationRejected(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	c, a, b := bealeLP()
+	opts := DefaultSimplexOpts()
+	opts.Bland = true
+	opts.Naive = true
+	if _, _, err := SolveSimplex(m, c, a, b, opts); err == nil {
+		t.Fatal("Bland+Naive accepted")
+	}
+}
+
+func TestBlandAndDantzigAgreeOnNonDegenerate(t *testing.T) {
+	// Different pivot paths, same optimum.
+	rng := rand.New(rand.NewSource(81))
+	m := hypercube.MustNew(3, costmodel.CM2())
+	c, a, b := randLP(rng, 6, 9)
+	optsD := DefaultSimplexOpts()
+	resD, _, err := SolveSimplex(m, c, a, b, optsD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsB := DefaultSimplexOpts()
+	optsB.Bland = true
+	resB, _, err := SolveSimplex(m, c, a, b, optsB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resD.Status != serial.Optimal || resB.Status != serial.Optimal {
+		t.Fatalf("statuses %v / %v", resD.Status, resB.Status)
+	}
+	if math.Abs(resD.Z-resB.Z) > 1e-8 {
+		t.Fatalf("objectives differ: %v vs %v", resD.Z, resB.Z)
+	}
+}
+
+func TestDeterminantMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for _, dim := range []int{0, 2, 4} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for _, n := range []int{1, 2, 5, 9} {
+			a, _ := randSystem(rng, n)
+			got, elapsed, err := Determinant(m, a, DefaultGaussOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := serial.Determinant(a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-6*math.Abs(want) {
+				t.Fatalf("dim %d n %d: det %v, want %v", dim, n, got, want)
+			}
+			if dim > 0 && elapsed <= 0 {
+				t.Fatal("no simulated time")
+			}
+		}
+	}
+}
+
+func TestDeterminantSingularIsZero(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	a := serial.FromRows([][]float64{{1, 2}, {2, 4}})
+	got, _, err := Determinant(m, a, DefaultGaussOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("det = %v, want 0", got)
+	}
+	want, err := serial.Determinant(a)
+	if err != nil || want != 0 {
+		t.Fatalf("serial det = %v (%v)", want, err)
+	}
+}
+
+func TestDeterminantKnownValues(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	// det = 1*4 - 2*3 = -2.
+	a := serial.FromRows([][]float64{{1, 2}, {3, 4}})
+	got, _, err := Determinant(m, a, DefaultGaussOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-(-2)) > 1e-12 {
+		t.Fatalf("det = %v, want -2", got)
+	}
+	if _, _, err := Determinant(m, serial.NewMat(2, 3), DefaultGaussOpts()); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}

@@ -1,0 +1,289 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmprim/internal/core"
+	"vmprim/internal/costmodel"
+	"vmprim/internal/embed"
+	"vmprim/internal/hypercube"
+	"vmprim/internal/serial"
+)
+
+func TestMatVecKernelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for _, dim := range []int{0, 2, 4, 5} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for _, shape := range [][2]int{{4, 4}, {9, 6}, {5, 13}} {
+			rows, cols := shape[0], shape[1]
+			dm := serial.NewMat(rows, cols)
+			for i := range dm.A {
+				dm.A[i] = rng.NormFloat64()
+			}
+			x := make([]float64, cols)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			g := embed.SplitFor(dim, rows, cols)
+			a, err := core.FromDense(g, dm, embed.Block, embed.Block)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xv, err := core.VectorFromSlice(g, x, core.RowAligned, embed.Block, 0, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := core.NewVector(g, rows, core.ColAligned, embed.Block, 0, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(func(p *hypercube.Proc) {
+				e := core.NewEnv(p, g)
+				e.StoreVec(out, MatVecKernel(e, a, xv))
+			}); err != nil {
+				t.Fatal(err)
+			}
+			want := serial.MatVecMul(dm, x)
+			got := out.ToSlice()
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-10 {
+					t.Fatalf("dim %d %dx%d: y[%d] = %v, want %v", dim, rows, cols, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSolveGaussManyMatchesPerColumnSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, dim := range []int{0, 2, 4} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for _, shape := range [][2]int{{5, 1}, {8, 3}, {12, 5}} {
+			n, nrhs := shape[0], shape[1]
+			a, _ := randSystem(rng, n)
+			b := serial.NewMat(n, nrhs)
+			for i := range b.A {
+				b.A[i] = rng.NormFloat64()
+			}
+			x, _, err := SolveGaussMany(m, a, b, DefaultGaussOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for r := 0; r < nrhs; r++ {
+				want, err := serial.GaussSolve(a, b.Col(r))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < n; i++ {
+					if math.Abs(x.At(i, r)-want[i]) > 1e-7 {
+						t.Fatalf("dim %d n %d rhs %d: x[%d] = %v, want %v", dim, n, r, i, x.At(i, r), want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSolveGaussManySingular(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	a := serial.FromRows([][]float64{{1, 2}, {2, 4}})
+	b := serial.NewMat(2, 2)
+	if _, _, err := SolveGaussMany(m, a, b, DefaultGaussOpts()); err == nil {
+		t.Fatal("singular accepted")
+	}
+}
+
+func TestSolveGaussManyValidation(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	if _, _, err := SolveGaussMany(m, serial.NewMat(2, 3), serial.NewMat(2, 1), DefaultGaussOpts()); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, _, err := SolveGaussMany(m, serial.NewMat(2, 2), serial.NewMat(3, 1), DefaultGaussOpts()); err == nil {
+		t.Fatal("mismatched rhs accepted")
+	}
+	if _, _, err := SolveGaussMany(m, serial.NewMat(2, 2), serial.NewMat(2, 0), DefaultGaussOpts()); err == nil {
+		t.Fatal("empty rhs accepted")
+	}
+}
+
+func TestMatMulMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, dim := range []int{0, 2, 4} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for _, shape := range [][3]int{{4, 4, 4}, {6, 3, 8}, {5, 9, 2}} {
+			r, k, c := shape[0], shape[1], shape[2]
+			a := serial.NewMat(r, k)
+			b := serial.NewMat(k, c)
+			for i := range a.A {
+				a.A[i] = rng.NormFloat64()
+			}
+			for i := range b.A {
+				b.A[i] = rng.NormFloat64()
+			}
+			for _, kind := range []embed.MapKind{embed.Block, embed.Cyclic} {
+				got, elapsed, err := MatMul(m, a, b, kind)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := serial.MatMul(a, b)
+				for i := range want.A {
+					if math.Abs(got.A[i]-want.A[i]) > 1e-10 {
+						t.Fatalf("dim %d %v %dx%dx%d: element %d = %v, want %v",
+							dim, kind, r, k, c, i, got.A[i], want.A[i])
+					}
+				}
+				if dim > 0 && elapsed <= 0 {
+					t.Fatal("no simulated time")
+				}
+			}
+		}
+	}
+}
+
+func TestMatMulValidation(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	if _, _, err := MatMul(m, serial.NewMat(2, 3), serial.NewMat(4, 2), embed.Block); err == nil {
+		t.Fatal("mismatched inner dims accepted")
+	}
+}
+
+func TestSolveCGMatchesDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, dim := range []int{0, 2, 4} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for _, n := range []int{2, 7, 16} {
+			// SPD system: A = M^T M + n I.
+			raw := serial.NewMat(n, n)
+			for i := range raw.A {
+				raw.A[i] = rng.NormFloat64()
+			}
+			a := serial.MatMul(raw.Transpose(), raw)
+			for i := 0; i < n; i++ {
+				a.Set(i, i, a.At(i, i)+float64(n))
+			}
+			b := make([]float64, n)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			res, elapsed, err := SolveCG(m, a, b, CGOpts{Tol: 1e-10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Converged {
+				t.Fatalf("dim %d n %d: CG did not converge (residual %v after %d iters)",
+					dim, n, res.Residual, res.Iterations)
+			}
+			want, err := serial.GaussSolve(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Abs(res.X[i]-want[i]) > 1e-6 {
+					t.Fatalf("dim %d n %d: x[%d] = %v, want %v", dim, n, i, res.X[i], want[i])
+				}
+			}
+			if dim > 0 && elapsed <= 0 {
+				t.Fatal("no simulated time")
+			}
+		}
+	}
+}
+
+func TestSolveCGIterationCountIsSane(t *testing.T) {
+	// CG on an SPD system must converge in at most n iterations in
+	// exact arithmetic; allow some slack for rounding.
+	rng := rand.New(rand.NewSource(74))
+	m := hypercube.MustNew(4, costmodel.CM2())
+	n := 24
+	raw := serial.NewMat(n, n)
+	for i := range raw.A {
+		raw.A[i] = rng.NormFloat64()
+	}
+	a := serial.MatMul(raw.Transpose(), raw)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	res, _, err := SolveCG(m, a, b, CGOpts{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || res.Iterations > 2*n {
+		t.Fatalf("CG took %d iterations (converged=%v)", res.Iterations, res.Converged)
+	}
+}
+
+func TestSolveCGValidation(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	if _, _, err := SolveCG(m, serial.NewMat(2, 3), []float64{1, 2}, CGOpts{}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, _, err := SolveCG(m, serial.NewMat(2, 2), []float64{1}, CGOpts{}); err == nil {
+		t.Fatal("bad rhs accepted")
+	}
+	zeroDiag := serial.FromRows([][]float64{{0, 1}, {1, 0}})
+	if _, _, err := SolveCG(m, zeroDiag, []float64{1, 1}, CGOpts{}); err == nil {
+		t.Fatal("zero diagonal accepted")
+	}
+}
+
+func TestDeterministicSimulatedTime(t *testing.T) {
+	// The virtual-time simulation must be bit-reproducible: the same
+	// program on the same machine yields identical elapsed time and
+	// identical message/word/flop counters, run after run.
+	rng := rand.New(rand.NewSource(75))
+	m := hypercube.MustNew(4, costmodel.CM2())
+	a, b := randSystem(rng, 12)
+	var elapsed []costmodel.Time
+	var stats []hypercube.Stats
+	for trial := 0; trial < 3; trial++ {
+		_, el, err := SolveGauss(m, a, b, DefaultGaussOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed = append(elapsed, el)
+		stats = append(stats, m.LastStats())
+	}
+	for trial := 1; trial < 3; trial++ {
+		if elapsed[trial] != elapsed[0] {
+			t.Fatalf("elapsed differs across runs: %v vs %v", elapsed[trial], elapsed[0])
+		}
+		if stats[trial] != stats[0] {
+			t.Fatalf("stats differ across runs: %+v vs %+v", stats[trial], stats[0])
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for _, dim := range []int{0, 2, 4} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for _, n := range []int{1, 2, 5, 10} {
+			a, _ := randSystem(rng, n)
+			inv, _, err := Inverse(m, a, DefaultGaussOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			prod := serial.MatMul(a, inv)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					want := 0.0
+					if i == j {
+						want = 1
+					}
+					if math.Abs(prod.At(i, j)-want) > 1e-8 {
+						t.Fatalf("dim %d n %d: (A*A^-1)[%d][%d] = %v", dim, n, i, j, prod.At(i, j))
+					}
+				}
+			}
+		}
+	}
+	if _, _, err := Inverse(hypercube.MustNew(1, costmodel.CM2()), serial.NewMat(2, 3), DefaultGaussOpts()); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}

@@ -1,0 +1,188 @@
+package apps
+
+import (
+	"fmt"
+
+	"vmprim/internal/core"
+	"vmprim/internal/costmodel"
+	"vmprim/internal/embed"
+	"vmprim/internal/hypercube"
+	"vmprim/internal/serial"
+)
+
+// The Gaussian-elimination routine of the paper, on the augmented
+// system [A | b]: per elimination step, a Reduce(maxabsloc) pivot
+// search down column k, a row swap composed of Extracts and Inserts,
+// an Extract + Distribute of the pivot row and of the multiplier
+// column, and a rank-1 elementwise update — all four primitives, every
+// step. Back substitution runs as n column updates using the same
+// Extract/Distribute machinery.
+
+// GaussOpts configures a distributed Gaussian elimination solve.
+type GaussOpts struct {
+	// RKind and CKind choose the row/column embeddings. Cyclic row
+	// embedding keeps the shrinking active submatrix balanced over the
+	// grid (ablation A3); Block is the simple consecutive embedding.
+	RKind, CKind embed.MapKind
+	// Naive routes all communication through the general router,
+	// element by element, instead of using the primitives.
+	Naive bool
+}
+
+// DefaultGaussOpts returns the configuration used by the paper-shaped
+// experiments: cyclic rows and columns, primitives on.
+func DefaultGaussOpts() GaussOpts {
+	return GaussOpts{RKind: embed.Cyclic, CKind: embed.Cyclic}
+}
+
+// pivotEps matches the serial elimination's singularity threshold.
+const pivotEps = 0.0
+
+// GaussKernel runs forward elimination with partial pivoting and back
+// substitution on the distributed augmented matrix w (n rows, n+1
+// columns) and returns the solution through the provided linear-layout
+// host vector xOut (length n). It reports an error (identically on
+// every processor) if the matrix is numerically singular.
+func GaussKernel(e *core.Env, w *core.Matrix, xOut *core.Vector) error {
+	n := w.Rows
+	if w.Cols != n+1 {
+		panic(fmt.Sprintf("apps: GaussKernel needs an n x n+1 augmented matrix, got %dx%d", w.Rows, w.Cols))
+	}
+	// Forward elimination.
+	for k := 0; k < n; k++ {
+		// Pivot search: Reduce(maxabsloc) over column k, rows [k, n).
+		mag, piv := e.ReduceColLoc(w, k, k, n, core.LocMaxAbs)
+		if piv < 0 || mag <= pivotEps {
+			return fmt.Errorf("apps: singular matrix at step %d", k)
+		}
+		if piv != k {
+			e.SwapRows(w, k, piv) // Extract x2, Insert x2
+		}
+		// Pivot row and multiplier column, both replicated (Extract +
+		// Distribute fused).
+		prow := e.ExtractRow(w, k, true)
+		pivot := e.VecElemAt(prow, k)
+		mcol := e.ExtractCol(w, k, true)
+		inv := 1 / pivot
+		e.MapVec(mcol, func(gi int, v float64) float64 {
+			if gi <= k {
+				return 0 // rows at or above the pivot are untouched
+			}
+			return v * inv
+		}, 1)
+		// Rank-1 elementwise update of the active submatrix. Column k
+		// is included so the eliminated entries become exact zeros.
+		e.UpdateOuter(w, mcol, prow, k+1, n, k, n+1,
+			func(aij, mi, pj float64) float64 { return aij - mi*pj }, 2)
+	}
+
+	// Back substitution: x_k = w[k][n] / w[k][k], then eliminate
+	// column k from the right-hand sides of rows above: one Extract +
+	// Distribute of column k and a single-column elementwise update.
+	ones := e.TempVector(n+1, core.RowAligned, w.CMap.Kind, 0, true)
+	e.MapVec(ones, func(int, float64) float64 { return 1 }, 0)
+	for k := n - 1; k >= 0; k-- {
+		xk := e.ElemAt(w, k, n) / e.ElemAt(w, k, k)
+		e.SetVecElem(xOut, k, xk)
+		if k == 0 {
+			break
+		}
+		ck := e.ExtractCol(w, k, true)
+		e.UpdateOuter(w, ck, ones, 0, k, n, n+1,
+			func(aij, ci, _ float64) float64 { return aij - ci*xk }, 2)
+	}
+	return nil
+}
+
+// SolveGauss distributes the augmented system [A | b] on machine m and
+// solves it with GaussKernel (or the naive router-based kernel),
+// returning the solution and the simulated elapsed time.
+func SolveGauss(m *hypercube.Machine, a *serial.Mat, b []float64, opts GaussOpts) ([]float64, costmodel.Time, error) {
+	if a.R != a.C {
+		return nil, 0, fmt.Errorf("apps: SolveGauss needs a square matrix, got %dx%d", a.R, a.C)
+	}
+	if len(b) != a.R {
+		return nil, 0, fmt.Errorf("apps: rhs length %d, want %d", len(b), a.R)
+	}
+	n := a.R
+	g := embed.SplitFor(m.Dim(), n, n+1)
+	aug := serial.NewMat(n, n+1)
+	for i := 0; i < n; i++ {
+		copy(aug.A[i*(n+1):], a.A[i*n:(i+1)*n])
+		aug.Set(i, n, b[i])
+	}
+	w, err := core.FromDense(g, aug, opts.RKind, opts.CKind)
+	if err != nil {
+		return nil, 0, err
+	}
+	xOut, err := core.NewVector(g, n, core.Linear, embed.Block, 0, false)
+	if err != nil {
+		return nil, 0, err
+	}
+	kernel := GaussKernel
+	if opts.Naive {
+		kernel = GaussKernelNaive
+	}
+	elapsed, err := m.Run(func(p *hypercube.Proc) {
+		e := core.NewEnv(p, g)
+		if kerr := kernel(e, w, xOut); kerr != nil {
+			panic(kerr)
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return xOut.ToSlice(), elapsed, nil
+}
+
+// Determinant computes det(A) on machine mach by distributed Gaussian
+// elimination with partial pivoting: every processor tracks the
+// product of the broadcast pivots and the swap parity, so the result
+// needs no extra communication beyond the elimination itself.
+func Determinant(mach *hypercube.Machine, a *serial.Mat, opts GaussOpts) (float64, costmodel.Time, error) {
+	if a.R != a.C {
+		return 0, 0, fmt.Errorf("apps: Determinant needs a square matrix, got %dx%d", a.R, a.C)
+	}
+	n := a.R
+	g := embed.SplitFor(mach.Dim(), n, n)
+	w, err := core.FromDense(g, a, opts.RKind, opts.CKind)
+	if err != nil {
+		return 0, 0, err
+	}
+	var det float64
+	elapsed, err := mach.Run(func(p *hypercube.Proc) {
+		e := core.NewEnv(p, g)
+		d := 1.0
+		for k := 0; k < n; k++ {
+			mag, piv := e.ReduceColLoc(w, k, k, n, core.LocMaxAbs)
+			if piv < 0 || mag <= pivotEps {
+				d = 0
+				break
+			}
+			if piv != k {
+				e.SwapRows(w, k, piv)
+				d = -d
+			}
+			prow := e.ExtractRow(w, k, true)
+			pivot := e.VecElemAt(prow, k)
+			d *= pivot
+			mcol := e.ExtractCol(w, k, true)
+			inv := 1 / pivot
+			e.MapVec(mcol, func(gi int, v float64) float64 {
+				if gi <= k {
+					return 0
+				}
+				return v * inv
+			}, 1)
+			e.UpdateOuter(w, mcol, prow, k+1, n, k, n,
+				func(aij, mi, pj float64) float64 { return aij - mi*pj }, 2)
+		}
+		if p.ID() == 0 {
+			det = d
+		}
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return det, elapsed, nil
+}

@@ -1,0 +1,153 @@
+package apps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmprim/internal/costmodel"
+	"vmprim/internal/hypercube"
+	"vmprim/internal/serial"
+)
+
+func TestLUFactorSolveMatchesGauss(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for _, dim := range []int{0, 2, 4} {
+		m := hypercube.MustNew(dim, costmodel.CM2())
+		for _, n := range []int{1, 2, 6, 13} {
+			a, b := randSystem(rng, n)
+			lu, err := LUFactor(m, a, DefaultGaussOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			x, _, err := lu.Solve(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := serial.GaussSolve(a, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Abs(x[i]-want[i]) > 1e-7 {
+					t.Fatalf("dim %d n %d: x[%d] = %v, want %v", dim, n, i, x[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestLUFactorsReconstructPA(t *testing.T) {
+	// P A must equal L U elementwise.
+	rng := rand.New(rand.NewSource(91))
+	m := hypercube.MustNew(3, costmodel.CM2())
+	n := 9
+	a, _ := randSystem(rng, n)
+	lu, err := LUFactor(m, a, DefaultGaussOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := lu.Factors()
+	perm := lu.Perm()
+	l := serial.NewMat(n, n)
+	u := serial.NewMat(n, n)
+	for i := 0; i < n; i++ {
+		l.Set(i, i, 1)
+		for j := 0; j < n; j++ {
+			if j < i {
+				l.Set(i, j, w.At(i, j))
+			} else {
+				u.Set(i, j, w.At(i, j))
+			}
+		}
+	}
+	prod := serial.MatMul(l, u)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(prod.At(i, j)-a.At(perm[i], j)) > 1e-9 {
+				t.Fatalf("(PA)[%d][%d] = %v, LU gives %v", i, j, a.At(perm[i], j), prod.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLUSolveManyRHSReusesFactors(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	// Grain matters for the cost assertion: at n/p large enough the
+	// factor's O(n^3/p) local work dominates its collectives, while
+	// the solve stays O(n^2/p) — that is the point of LU.
+	m := hypercube.MustNew(2, costmodel.CM2())
+	n := 96
+	a, _ := randSystem(rng, n)
+	lu, err := LUFactor(m, a, DefaultGaussOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var solveTime costmodel.Time
+	for trial := 0; trial < 4; trial++ {
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, st, err := lu.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := serial.Norm2(serial.Residual(a, x, b)); r > 1e-8 {
+			t.Fatalf("trial %d: residual %v", trial, r)
+		}
+		solveTime = st
+	}
+	// Re-solving must be much cheaper than factoring: O(n^2) vs O(n^3)
+	// work plus fewer collective phases per step.
+	if solveTime*2 > lu.FactorTime {
+		t.Fatalf("solve (%v) not clearly cheaper than factor (%v)", solveTime, lu.FactorTime)
+	}
+}
+
+func TestLUSingularAndValidation(t *testing.T) {
+	m := hypercube.MustNew(2, costmodel.CM2())
+	if _, err := LUFactor(m, serial.NewMat(2, 3), DefaultGaussOpts()); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	sing := serial.FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := LUFactor(m, sing, DefaultGaussOpts()); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+	a := serial.FromRows([][]float64{{2, 1}, {1, 3}})
+	lu, err := LUFactor(m, a, DefaultGaussOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := lu.Solve([]float64{1}); err == nil {
+		t.Fatal("bad rhs accepted")
+	}
+	if lu.N() != 2 {
+		t.Fatalf("N = %d", lu.N())
+	}
+}
+
+func TestLUPermIsPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	m := hypercube.MustNew(3, costmodel.CM2())
+	// A matrix guaranteed to pivot: reversed identity-dominant.
+	n := 8
+	a := serial.NewMat(n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, n-1-i, float64(n+i))
+		for j := 0; j < n; j++ {
+			a.Set(i, j, a.At(i, j)+rng.NormFloat64()*0.1)
+		}
+	}
+	lu, err := LUFactor(m, a, DefaultGaussOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, n)
+	for _, p := range lu.Perm() {
+		if p < 0 || p >= n || seen[p] {
+			t.Fatalf("perm %v is not a permutation", lu.Perm())
+		}
+		seen[p] = true
+	}
+}

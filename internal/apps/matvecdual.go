@@ -1,0 +1,46 @@
+package apps
+
+import (
+	"vmprim/internal/core"
+)
+
+// MatVecKernel computes y = A*x (the dual orientation to VecMatKernel)
+// inside an SPMD body: x must be row-aligned (length A.Cols, i.e.
+// aligned with the matrix columns); the result is col-aligned (length
+// A.Rows), replicated across grid columns. The composition mirrors the
+// paper's vector-matrix multiply with the axes exchanged: Distribute x
+// across the grid rows, multiply elementwise, Reduce along the
+// columns.
+func MatVecKernel(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
+	if x.Layout != core.RowAligned || x.N != a.Cols || x.Map != a.CMap {
+		panic("apps: MatVecKernel needs a row-aligned x matching A's columns")
+	}
+	xr := x
+	if !x.Replicated {
+		xr = e.Distribute(x)
+	}
+	pid := e.P.ID()
+	blk := a.L(pid)
+	xp := xr.L(pid)
+	b := a.CMap.B
+	piece := make([]float64, a.RMap.B)
+	myCol := e.GridCol()
+	count := 0
+	for lr := 0; lr < a.RMap.B; lr++ {
+		row := blk[lr*b : (lr+1)*b]
+		s := 0.0
+		for lc, aij := range row {
+			if a.CMap.GlobalOf(myCol, lc) < 0 {
+				continue
+			}
+			s += aij * xp[lc]
+			count += 2
+		}
+		piece[lr] = s
+	}
+	e.P.Compute(count)
+	out := e.TempVector(a.Rows, core.ColAligned, a.RMap.Kind, 0, true)
+	sum := e.AllReduceColsPiece(piece, core.OpSum)
+	copy(out.L(pid), sum)
+	return out
+}

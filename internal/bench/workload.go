@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"math/rand"
+
+	"vmprim/internal/serial"
+)
+
+// Workload generators. Seeds are fixed so every invocation of an
+// experiment sees identical data; the simulated timings are then fully
+// deterministic.
+
+// RandMat returns an r x c matrix of standard normals.
+func RandMat(seed int64, r, c int) *serial.Mat {
+	rng := rand.New(rand.NewSource(seed))
+	m := serial.NewMat(r, c)
+	for i := range m.A {
+		m.A[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// RandVec returns a length-n vector of standard normals.
+func RandVec(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// RandSystem returns a well-conditioned n x n system (diagonally
+// boosted normals) with a random right-hand side.
+func RandSystem(seed int64, n int) (*serial.Mat, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	a := serial.NewMat(n, n)
+	for i := range a.A {
+		a.A[i] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	return a, b
+}
+
+// RandLP returns a dense feasible bounded LP: maximize c^T x subject
+// to A x <= b, x >= 0, with strictly positive A, b and c, so the
+// feasible region is a bounded polytope containing the origin. This is
+// the workload shape of the paper's dense-simplex timings.
+func RandLP(seed int64, m, n int) (c []float64, a *serial.Mat, b []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	a = serial.NewMat(m, n)
+	for i := range a.A {
+		a.A[i] = rng.Float64()*3 + 0.1
+	}
+	b = make([]float64, m)
+	for i := range b {
+		b[i] = rng.Float64()*8 + 1
+	}
+	c = make([]float64, n)
+	for i := range c {
+		c[i] = rng.Float64()*2 + 0.1
+	}
+	return c, a, b
+}

@@ -1,0 +1,500 @@
+// Package collective implements the structured communication
+// operations on Boolean subcubes that the four vector-matrix
+// primitives are built from: one-to-all broadcast (binomial tree and
+// scatter/all-gather for long vectors), reduction (binomial tree,
+// recursive-halving reduce-scatter, and all-reduce), gather/scatter,
+// all-to-all personalized communication, and parallel prefix (scan).
+//
+// Every operation works on the subcube spanned by a dimension mask: the
+// set of processors whose addresses agree with the caller's outside the
+// mask. All processors of a subcube must call the operation together
+// with consistent arguments (SPMD). Within a subcube a processor is
+// identified by its relative address: its address bits at the mask's
+// set positions, compacted so that the lowest masked dimension is bit
+// zero (see gray.Compact).
+//
+// Cost shapes (k = popcount(mask), n = data words, tau = start-up,
+// t_c = per-word transfer):
+//
+//	Bcast        k*(tau + n*t_c)            — latency-optimal
+//	BcastLarge   ~2k*tau + 2n*t_c           — bandwidth-optimal, long n
+//	Reduce       k*(tau + n*t_c) + k*n flop
+//	ReduceScatter/AllGather  k*tau + n*t_c*(1-1/2^k) (+ n flop)
+//	AllReduce (halving+doubling) ~2k*tau + 2n*t_c + n flop
+//	AllToAll     k*(tau + (n/2)*t_c)
+//
+// The recursive-halving forms are what make the Reduce and Distribute
+// primitives work-optimal for m > p lg p in the SPAA 1989 analysis.
+package collective
+
+import (
+	"fmt"
+
+	"vmprim/internal/gray"
+	"vmprim/internal/hypercube"
+)
+
+// A Combiner merges src into dst elementwise; len(dst) == len(src).
+// Combiners must be associative and commutative up to floating-point
+// rounding; collectives apply them in a fixed dimension order so
+// distributed results are deterministic run-to-run.
+type Combiner func(dst, src []float64)
+
+// Sum adds src into dst.
+func Sum(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+// Prod multiplies dst by src.
+func Prod(dst, src []float64) {
+	for i, v := range src {
+		dst[i] *= v
+	}
+}
+
+// Max keeps the elementwise maximum in dst.
+func Max(dst, src []float64) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// Min keeps the elementwise minimum in dst.
+func Min(dst, src []float64) {
+	for i, v := range src {
+		if v < dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// The *Loc combiners operate on (value, index) pairs packed as
+// consecutive words: data[2i] is the value, data[2i+1] the index. Ties
+// resolve to the smaller index, matching the pivot-selection and
+// ratio-test semantics of Gaussian elimination and simplex.
+
+// MaxLoc keeps the pair with the larger value (smaller index on ties).
+func MaxLoc(dst, src []float64) {
+	for i := 0; i+1 < len(src); i += 2 {
+		if src[i] > dst[i] || (src[i] == dst[i] && src[i+1] < dst[i+1]) {
+			dst[i], dst[i+1] = src[i], src[i+1]
+		}
+	}
+}
+
+// MinLoc keeps the pair with the smaller value (smaller index on ties).
+func MinLoc(dst, src []float64) {
+	for i := 0; i+1 < len(src); i += 2 {
+		if src[i] < dst[i] || (src[i] == dst[i] && src[i+1] < dst[i+1]) {
+			dst[i], dst[i+1] = src[i], src[i+1]
+		}
+	}
+}
+
+// rel returns the caller's relative address within the masked subcube.
+func rel(p *hypercube.Proc, mask int) int {
+	return gray.Compact(p.ID(), mask)
+}
+
+// subTag derives a distinct protocol tag for step s of a collective
+// invoked with base tag.
+func subTag(tag, s int) int { return tag<<6 | s }
+
+// Bcast broadcasts data from the subcube member with relative address
+// rootRel to all members, using a binomial spanning tree rooted there:
+// k = popcount(mask) communication steps of the full payload. Every
+// member returns its own copy (the root returns data itself).
+func Bcast(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
+	ds := gray.Dims(mask)
+	k := len(ds)
+	r := rel(p, mask) ^ rootRel // address relative to the root
+	holds := r == 0
+	var buf []float64
+	if holds {
+		buf = data
+	}
+	// Steps descend so that before step i the holders are exactly the
+	// processors whose relative address has no bits at positions <= i;
+	// each holder forwards along dimension ds[i] to the processor one
+	// bit-i flip away.
+	for i := k - 1; i >= 0; i-- {
+		low := r & ((1 << (i + 1)) - 1)
+		switch {
+		case low == 0 && holds:
+			p.Send(ds[i], subTag(tag, i), buf)
+		case low == 1<<i:
+			buf = p.Recv(ds[i], subTag(tag, i))
+			holds = true
+		}
+	}
+	if !holds {
+		panic("collective: Bcast finished without data (inconsistent rootRel?)")
+	}
+	if r == 0 {
+		// Hand the root a private copy too, so all returns are alias-free.
+		cp := make([]float64, len(buf))
+		copy(cp, buf)
+		return cp
+	}
+	return buf
+}
+
+// BcastLarge broadcasts data from rootRel using the bandwidth-optimal
+// scatter/all-gather scheme: the payload is scattered into 2^k pieces
+// down the binomial tree, then all-gathered by recursive doubling.
+// Total transfer volume per link is O(n/2 + n/4 + ...) so the time is
+// about 2*k*tau + 2*n*t_c, beating Bcast's k*n*t_c once n*t_c >> tau.
+// len(data) must be divisible by 2^k.
+func BcastLarge(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
+	k := gray.OnesCount(mask)
+	if k == 0 {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return cp
+	}
+	if len(data)%(1<<k) != 0 {
+		panic(fmt.Sprintf("collective: BcastLarge length %d not divisible by %d", len(data), 1<<k))
+	}
+	piece := Scatter(p, mask, tag, rootRel, data)
+	return AllGather(p, mask, tag+1, piece)
+}
+
+// Reduce combines data across the subcube with comb, delivering the
+// full combined vector to the member with relative address rootRel,
+// which receives it as the return value; all other members return nil.
+// It is the mirror image of Bcast: a binomial tree with combining at
+// every internal node.
+func Reduce(p *hypercube.Proc, mask, tag, rootRel int, data []float64, comb Combiner) []float64 {
+	ds := gray.Dims(mask)
+	k := len(ds)
+	r := rel(p, mask) ^ rootRel
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	for i := 0; i < k; i++ {
+		low := r & ((1 << (i + 1)) - 1)
+		switch {
+		case low == 0:
+			src := p.Recv(ds[i], subTag(tag, i))
+			comb(acc, src)
+			p.Compute(len(acc))
+		case low == 1<<i:
+			p.Send(ds[i], subTag(tag, i), acc)
+			acc = nil
+			// This processor's part is done; it holds no data.
+			i = k
+		}
+	}
+	if r == 0 {
+		return acc
+	}
+	return nil
+}
+
+// ReduceScatter combines data across the subcube by recursive halving
+// and leaves each member with one 1/2^k slice of the combined vector:
+// the member with relative address r gets the slice starting at offset
+// r*(len/2^k). It returns the slice and its offset. len(data) must be
+// divisible by 2^k. Message sizes halve every step, which is the
+// source of the primitives' asymptotic work-optimality.
+func ReduceScatter(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) (piece []float64, offset int) {
+	ds := gray.Dims(mask)
+	k := len(ds)
+	if k == 0 {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return cp, 0
+	}
+	if len(data)%(1<<k) != 0 {
+		panic(fmt.Sprintf("collective: ReduceScatter length %d not divisible by %d", len(data), 1<<k))
+	}
+	r := rel(p, mask)
+	cur := make([]float64, len(data))
+	copy(cur, data)
+	offset = 0
+	for i := k - 1; i >= 0; i-- {
+		half := len(cur) / 2
+		var keep, send []float64
+		if r&(1<<i) == 0 {
+			keep, send = cur[:half], cur[half:]
+		} else {
+			keep, send = cur[half:], cur[:half]
+			offset += half
+		}
+		got := p.Exchange(ds[i], subTag(tag, i), send)
+		comb(keep, got)
+		p.Compute(half)
+		cur = keep
+	}
+	return cur, offset
+}
+
+// AllGather concatenates the members' pieces by recursive doubling so
+// that every member ends with the full vector ordered by relative
+// address: member r's input occupies the r-th slot. All pieces must
+// have equal length (checked during the exchanges).
+func AllGather(p *hypercube.Proc, mask, tag int, piece []float64) []float64 {
+	ds := gray.Dims(mask)
+	r := rel(p, mask)
+	buf := make([]float64, len(piece))
+	copy(buf, piece)
+	for i := 0; i < len(ds); i++ {
+		got := p.Exchange(ds[i], subTag(tag, i), buf)
+		if len(got) != len(buf) {
+			panic("collective: AllGather piece length mismatch")
+		}
+		merged := make([]float64, 0, 2*len(buf))
+		if r&(1<<i) == 0 {
+			merged = append(append(merged, buf...), got...)
+		} else {
+			merged = append(append(merged, got...), buf...)
+		}
+		buf = merged
+	}
+	return buf
+}
+
+// AllReduce combines data across the subcube and delivers the full
+// result to every member. For short vectors it uses k exchange-and-
+// combine steps on the whole payload (recursive doubling); for long
+// vectors it switches to reduce-scatter + all-gather, which moves
+// about 2n words instead of k*n. The switch point is where the
+// modelled costs cross.
+func AllReduce(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) []float64 {
+	ds := gray.Dims(mask)
+	k := len(ds)
+	if k == 0 {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return cp
+	}
+	n := len(data)
+	params := p.Params()
+	// Recursive doubling: k*(tau + n*t_c). Halving+doubling:
+	// 2k*tau + ~2n*t_c. Prefer halving+doubling when it is cheaper and
+	// the length divides evenly.
+	doubling := float64(k) * (float64(params.CommStartup) + float64(n)*float64(params.CommPerWord))
+	halving := 2*float64(k)*float64(params.CommStartup) + 2*float64(n)*float64(params.CommPerWord)
+	if n%(1<<k) == 0 && n > 0 && halving < doubling {
+		piece, _ := ReduceScatter(p, mask, tag, data, comb)
+		return AllGather(p, mask, tag+1, piece)
+	}
+	acc := make([]float64, n)
+	copy(acc, data)
+	for i := 0; i < k; i++ {
+		got := p.Exchange(ds[i], subTag(tag, i), acc)
+		comb(acc, got)
+		p.Compute(n)
+	}
+	return acc
+}
+
+// Gather concatenates the members' equal-length pieces at the member
+// with relative address rootRel, ordered by relative address; the root
+// returns the assembled vector, everyone else nil.
+func Gather(p *hypercube.Proc, mask, tag, rootRel int, piece []float64) []float64 {
+	ds := gray.Dims(mask)
+	k := len(ds)
+	r := rel(p, mask) ^ rootRel
+	// Gather toward r == 0 in XOR-relative space; each intermediate
+	// node prefixes its own buffer. The XOR relabelling scrambles
+	// segment order, so carry (origin, payload) and let the root sort.
+	type seg struct {
+		origin int
+		words  []float64
+	}
+	segs := []seg{{origin: rel(p, mask), words: append([]float64(nil), piece...)}}
+	for i := 0; i < k; i++ {
+		low := r & ((1 << (i + 1)) - 1)
+		switch {
+		case low == 1<<i:
+			// Flatten segments with origin headers and ship them.
+			flat := make([]float64, 0, len(segs)*(len(piece)+2))
+			for _, s := range segs {
+				flat = append(flat, float64(s.origin), float64(len(s.words)))
+				flat = append(flat, s.words...)
+			}
+			p.Send(ds[i], subTag(tag, i), flat)
+			segs = nil
+			i = k
+		case low == 0:
+			flat := p.Recv(ds[i], subTag(tag, i))
+			for j := 0; j < len(flat); {
+				origin := int(flat[j])
+				n := int(flat[j+1])
+				j += 2
+				segs = append(segs, seg{origin: origin, words: append([]float64(nil), flat[j:j+n]...)})
+				j += n
+			}
+		}
+	}
+	if rel(p, mask)^rootRel != 0 {
+		return nil
+	}
+	out := make([]float64, (1<<k)*len(piece))
+	for _, s := range segs {
+		copy(out[s.origin*len(piece):], s.words)
+	}
+	return out
+}
+
+// Scatter distributes the root's vector so that the member with
+// relative address r receives the r-th of 2^k equal slices. Only the
+// root's data argument is consulted; len must be divisible by 2^k.
+func Scatter(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
+	ds := gray.Dims(mask)
+	k := len(ds)
+	if k == 0 {
+		cp := make([]float64, len(data))
+		copy(cp, data)
+		return cp
+	}
+	myRel := rel(p, mask)
+	xr := myRel ^ rootRel
+	type seg struct {
+		dest  int
+		words []float64
+	}
+	var segs []seg
+	if xr == 0 {
+		if len(data)%(1<<k) != 0 {
+			panic(fmt.Sprintf("collective: Scatter length %d not divisible by %d", len(data), 1<<k))
+		}
+		sz := len(data) / (1 << k)
+		segs = make([]seg, 1<<k)
+		for j := 0; j < 1<<k; j++ {
+			segs[j] = seg{dest: j, words: data[j*sz : (j+1)*sz]}
+		}
+	}
+	// Walk the binomial tree top-down: at step i (descending), holders
+	// forward the segments whose destination lies in the neighbor's
+	// half of the XOR-relative space. A holder at step i has all
+	// XOR-relative bits <= i clear, so the neighbor's half consists of
+	// the destinations whose XOR-relative bit i is set.
+	for i := k - 1; i >= 0; i-- {
+		low := xr & ((1 << (i + 1)) - 1)
+		switch {
+		case low == 0 && segs != nil:
+			var mine, theirs []seg
+			for _, s := range segs {
+				if (s.dest^rootRel)>>i&1 != xr>>i&1 {
+					theirs = append(theirs, s)
+				} else {
+					mine = append(mine, s)
+				}
+			}
+			flat := make([]float64, 0)
+			for _, s := range theirs {
+				flat = append(flat, float64(s.dest), float64(len(s.words)))
+				flat = append(flat, s.words...)
+			}
+			p.Send(ds[i], subTag(tag, i), flat)
+			segs = mine
+		case low == 1<<i:
+			flat := p.Recv(ds[i], subTag(tag, i))
+			for j := 0; j < len(flat); {
+				dest := int(flat[j])
+				n := int(flat[j+1])
+				j += 2
+				segs = append(segs, seg{dest: dest, words: append([]float64(nil), flat[j:j+n]...)})
+				j += n
+			}
+		}
+	}
+	for _, s := range segs {
+		if s.dest == myRel {
+			cp := make([]float64, len(s.words))
+			copy(cp, s.words)
+			return cp
+		}
+	}
+	panic("collective: Scatter did not deliver a segment")
+}
+
+// AllToAll performs all-to-all personalized communication: out[j] is
+// this member's payload for the member with relative address j, and
+// the returned slice's j-th entry is the payload from member j. All
+// payloads must have equal length. The pairwise-exchange algorithm
+// moves half of the local volume in each of the k steps.
+func AllToAll(p *hypercube.Proc, mask, tag int, out [][]float64) [][]float64 {
+	ds := gray.Dims(mask)
+	k := len(ds)
+	if len(out) != 1<<k {
+		panic(fmt.Sprintf("collective: AllToAll needs %d payloads, got %d", 1<<k, len(out)))
+	}
+	r := rel(p, mask)
+	sz := -1
+	cur := make([][]float64, len(out))
+	for j, w := range out {
+		if sz < 0 {
+			sz = len(w)
+		} else if len(w) != sz {
+			panic("collective: AllToAll payloads must have equal length")
+		}
+		cur[j] = append([]float64(nil), w...)
+	}
+	for i := 0; i < k; i++ {
+		// Exchange the slots whose index bit i differs from ours.
+		flat := make([]float64, 0, (len(cur)/2)*sz)
+		var slots []int
+		for j := range cur {
+			if j>>i&1 != r>>i&1 {
+				flat = append(flat, cur[j]...)
+				slots = append(slots, j)
+			}
+		}
+		got := p.Exchange(ds[i], subTag(tag, i), flat)
+		if len(got) != len(flat) {
+			panic("collective: AllToAll volume mismatch")
+		}
+		for si, j := range slots {
+			copy(cur[j], got[si*sz:(si+1)*sz])
+		}
+	}
+	return cur
+}
+
+// ScanInclusive computes, for the member with relative address r, the
+// combination of the inputs of members 0..r (inclusive), using the
+// classic hypercube prefix algorithm: k exchange steps carrying the
+// running subcube total alongside the prefix.
+func ScanInclusive(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) []float64 {
+	ds := gray.Dims(mask)
+	r := rel(p, mask)
+	prefix := append([]float64(nil), data...)
+	total := append([]float64(nil), data...)
+	for i := 0; i < len(ds); i++ {
+		got := p.Exchange(ds[i], subTag(tag, i), total)
+		if r>>i&1 == 1 {
+			comb(prefix, got)
+			p.Compute(len(prefix))
+		}
+		comb(total, got)
+		p.Compute(len(total))
+	}
+	return prefix
+}
+
+// ScanExclusive is ScanInclusive shifted by one member: member r
+// receives the combination of members 0..r-1, and member 0 receives
+// identity (which the caller supplies, since the combiner's identity
+// is not known here).
+func ScanExclusive(p *hypercube.Proc, mask, tag int, data, identity []float64, comb Combiner) []float64 {
+	ds := gray.Dims(mask)
+	r := rel(p, mask)
+	prefix := append([]float64(nil), identity...)
+	total := append([]float64(nil), data...)
+	for i := 0; i < len(ds); i++ {
+		got := p.Exchange(ds[i], subTag(tag, i), total)
+		if r>>i&1 == 1 {
+			comb(prefix, got)
+			p.Compute(len(prefix))
+		}
+		comb(total, got)
+		p.Compute(len(total))
+	}
+	return prefix
+}

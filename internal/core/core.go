@@ -1,0 +1,361 @@
+// Package core implements the four vector-matrix primitives of
+// Agrawal, Blelloch, Krawitz and Phillips (SPAA 1989) on the simulated
+// hypercube multiprocessor: Extract, Insert, Distribute and Reduce,
+// together with the distributed matrix and vector types they operate
+// on, elementwise operations, and the embedding-change operations
+// (vector realignment and matrix transposition) that the paper notes a
+// primitive may imply.
+//
+// # Data types and embeddings
+//
+// A Matrix is dense, R x C, embedded on the processor grid of an
+// embed.Grid: the grid's 2^dr x 2^dc processors each hold a
+// load-balanced local block of ceil(R/2^dr) x ceil(C/2^dc) elements,
+// dealt to grid rows and columns by a consecutive (block) or cyclic
+// map. A Vector is either row-aligned (length C, distributed over the
+// grid's column axis, living on one grid row or replicated on all),
+// col-aligned (length R, over the row axis), or linear (load-balanced
+// over all 2^d processors) — the three vector embeddings whose
+// interconversion is itself part of the primitive set.
+//
+// # Programming model
+//
+// All distributed operations are SPMD: every processor of the machine
+// calls the same method in the same order from inside a Machine.Run
+// body, through an Env that wraps its Proc handle and manages protocol
+// tags. Distributed containers (Matrix, Vector) may be created by host
+// code before a run and filled from dense data, or created inside a
+// run, in which case each processor lazily materializes only its own
+// block. All inter-processor data motion happens through the
+// collectives of internal/collective over cube-edge channels, and
+// every operation charges the cost model for its communication and
+// arithmetic, so Machine.Elapsed after a run is the simulated time of
+// the whole distributed computation.
+package core
+
+import (
+	"fmt"
+
+	"vmprim/internal/embed"
+	"vmprim/internal/hypercube"
+)
+
+// Env is one processor's view of a distributed computation: its Proc
+// handle, the processor grid, and a deterministic protocol-tag
+// sequence. Every processor constructs its own Env at the top of the
+// SPMD body; because the body is the same program on every processor,
+// the tag sequences stay synchronized.
+type Env struct {
+	P *hypercube.Proc
+	G embed.Grid
+
+	tag int
+}
+
+// NewEnv returns the environment for proc p on grid g. The grid must
+// exactly cover p's machine.
+func NewEnv(p *hypercube.Proc, g embed.Grid) *Env {
+	if g.D != p.Dim() {
+		panic(fmt.Sprintf("core: grid dimension %d does not match machine dimension %d", g.D, p.Dim()))
+	}
+	return &Env{P: p, G: g}
+}
+
+// NextTag returns a fresh protocol tag. Primitives call it once per
+// collective phase; SPMD symmetry keeps all processors' sequences
+// identical.
+func (e *Env) NextTag() int {
+	e.tag++
+	return e.tag
+}
+
+// NextTag2 reserves two consecutive tags — the shape round-trip
+// protocols like router.Request and scatter/all-gather broadcasts need
+// — and returns the first.
+func (e *Env) NextTag2() int {
+	t := e.NextTag()
+	e.NextTag()
+	return t
+}
+
+// GridRow returns this processor's grid row.
+func (e *Env) GridRow() int { return e.G.RowOf(e.P.ID()) }
+
+// GridCol returns this processor's grid column.
+func (e *Env) GridCol() int { return e.G.ColOf(e.P.ID()) }
+
+// Axis names the two matrix axes for primitives that take one.
+type Axis int
+
+const (
+	// Rows selects the row axis: reducing over Rows collapses the row
+	// index and yields a row-aligned vector of length Cols.
+	Rows Axis = iota
+	// Cols selects the column axis.
+	Cols
+)
+
+// String returns the axis name.
+func (a Axis) String() string {
+	if a == Rows {
+		return "rows"
+	}
+	return "cols"
+}
+
+// Matrix is a dense matrix distributed over the processor grid. Local
+// blocks are row-major with RMap.B local rows and CMap.B local
+// columns; slots beyond the logical extent (padding) hold zero and are
+// skipped by every operation.
+type Matrix struct {
+	Rows, Cols int
+	G          embed.Grid
+	RMap       embed.Map1D // rows over the 2^Dr grid rows
+	CMap       embed.Map1D // cols over the 2^Dc grid cols
+
+	// Host-created matrices store every processor's block (blocks);
+	// matrices created inside an SPMD body are per-processor handles
+	// that store only the creator's block (local), so temporaries cost
+	// O(m/p) per processor instead of O(p) slice headers.
+	blocks  [][]float64 // indexed by processor address; nil in local mode
+	local   []float64
+	isLocal bool
+}
+
+// NewMatrix returns a zero matrix of the given shape distributed on
+// grid g with the given row and column maps.
+func NewMatrix(g embed.Grid, rows, cols int, rkind, ckind embed.MapKind) (*Matrix, error) {
+	if rows < 0 || cols < 0 {
+		return nil, fmt.Errorf("core: invalid shape %dx%d", rows, cols)
+	}
+	rmap, err := embed.NewMap1D(rows, g.Dr, rkind)
+	if err != nil {
+		return nil, err
+	}
+	cmap, err := embed.NewMap1D(cols, g.Dc, ckind)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{
+		Rows: rows, Cols: cols, G: g, RMap: rmap, CMap: cmap,
+		blocks: make([][]float64, g.P()),
+	}, nil
+}
+
+// MustNewMatrix is NewMatrix for static arguments; panics on error.
+func MustNewMatrix(g embed.Grid, rows, cols int, rkind, ckind embed.MapKind) *Matrix {
+	m, err := NewMatrix(g, rows, cols, rkind, ckind)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// L returns processor pid's local block, materializing it on first
+// use. Only pid's own goroutine (or host code outside a run) may call
+// it for a given pid. For SPMD-local temporaries pid is ignored: the
+// handle belongs to exactly one processor.
+func (a *Matrix) L(pid int) []float64 {
+	if a.isLocal {
+		if a.local == nil {
+			a.local = make([]float64, a.RMap.B*a.CMap.B)
+		}
+		return a.local
+	}
+	if a.blocks[pid] == nil {
+		a.blocks[pid] = make([]float64, a.RMap.B*a.CMap.B)
+	}
+	return a.blocks[pid]
+}
+
+// IsLocal reports whether this is an SPMD-local temporary handle
+// (host-side accessors like ToDense refuse to read those).
+func (a *Matrix) IsLocal() bool { return a.isLocal }
+
+// LocalRows returns the local block's row count.
+func (a *Matrix) LocalRows() int { return a.RMap.B }
+
+// LocalCols returns the local block's column count.
+func (a *Matrix) LocalCols() int { return a.CMap.B }
+
+// OwnerOf returns the processor address owning element (i, j).
+func (a *Matrix) OwnerOf(i, j int) int {
+	return a.G.ProcAt(a.RMap.CoordOf(i), a.CMap.CoordOf(j))
+}
+
+// SameShape reports whether b has identical shape, grid and maps.
+func (a *Matrix) SameShape(b *Matrix) bool {
+	return a.Rows == b.Rows && a.Cols == b.Cols && a.G == b.G &&
+		a.RMap == b.RMap && a.CMap == b.CMap
+}
+
+// Layout names the three vector embeddings.
+type Layout int
+
+const (
+	// Linear is the stand-alone load-balanced embedding: the vector is
+	// dealt over all 2^d processors; the piece with coordinate c lives
+	// on the processor whose address is the Gray code of c, so
+	// consecutive pieces are cube neighbors.
+	Linear Layout = iota
+	// RowAligned vectors have the length of a matrix row (Cols) and
+	// are distributed over the grid's column axis, on one grid row
+	// (Home) or replicated on all grid rows.
+	RowAligned
+	// ColAligned vectors have the length of a matrix column (Rows) and
+	// are distributed over the grid's row axis.
+	ColAligned
+)
+
+// String returns the layout name.
+func (l Layout) String() string {
+	switch l {
+	case Linear:
+		return "linear"
+	case RowAligned:
+		return "row-aligned"
+	case ColAligned:
+		return "col-aligned"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Vector is a dense vector distributed on the processor grid in one of
+// the three embeddings.
+type Vector struct {
+	N      int
+	G      embed.Grid
+	Layout Layout
+	Map    embed.Map1D
+	// Replicated reports, for aligned layouts, whether every grid row
+	// (column) holds a copy. Linear vectors are never replicated.
+	Replicated bool
+	// Home is the grid row (for RowAligned) or grid column (for
+	// ColAligned) holding the data when not replicated.
+	Home int
+
+	// Storage follows the Matrix convention: host-created vectors hold
+	// all pieces; SPMD-created temporaries hold only the creator's.
+	vals    [][]float64 // indexed by processor address; nil in local mode
+	local   []float64
+	isLocal bool
+}
+
+// NewVector returns a zero vector of length n in the given layout.
+// For aligned layouts home names the owning grid row/column; pass
+// replicated=true for a copy on every grid row/column.
+func NewVector(g embed.Grid, n int, layout Layout, kind embed.MapKind, home int, replicated bool) (*Vector, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: invalid vector length %d", n)
+	}
+	var k int
+	switch layout {
+	case Linear:
+		k = g.D
+		home, replicated = 0, false
+	case RowAligned:
+		k = g.Dc
+		if home < 0 || home >= g.PRows() {
+			return nil, fmt.Errorf("core: home grid row %d out of [0,%d)", home, g.PRows())
+		}
+	case ColAligned:
+		k = g.Dr
+		if home < 0 || home >= g.PCols() {
+			return nil, fmt.Errorf("core: home grid column %d out of [0,%d)", home, g.PCols())
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown layout %v", layout)
+	}
+	m, err := embed.NewMap1D(n, k, kind)
+	if err != nil {
+		return nil, err
+	}
+	return &Vector{
+		N: n, G: g, Layout: layout, Map: m, Replicated: replicated, Home: home,
+		vals: make([][]float64, g.P()),
+	}, nil
+}
+
+// MustNewVector is NewVector for static arguments; panics on error.
+func MustNewVector(g embed.Grid, n int, layout Layout, kind embed.MapKind, home int, replicated bool) *Vector {
+	v, err := NewVector(g, n, layout, kind, home, replicated)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// L returns processor pid's local piece, materializing it on first
+// use. As for Matrix.L, only pid's goroutine may call it for pid, and
+// pid is ignored for SPMD-local temporaries.
+func (v *Vector) L(pid int) []float64 {
+	if v.isLocal {
+		if v.local == nil {
+			v.local = make([]float64, v.Map.B)
+		}
+		return v.local
+	}
+	if v.vals[pid] == nil {
+		v.vals[pid] = make([]float64, v.Map.B)
+	}
+	return v.vals[pid]
+}
+
+// IsLocal reports whether this is an SPMD-local temporary handle.
+func (v *Vector) IsLocal() bool { return v.isLocal }
+
+// PieceCoord returns the Map coordinate of the piece stored at
+// processor pid: the grid column for RowAligned vectors, the grid row
+// for ColAligned, and the Gray decoding of the address for Linear.
+func (v *Vector) PieceCoord(pid int) int {
+	switch v.Layout {
+	case RowAligned:
+		return v.G.ColOf(pid)
+	case ColAligned:
+		return v.G.RowOf(pid)
+	default:
+		return linearCoordOf(pid)
+	}
+}
+
+// HoldsData reports whether processor pid holds live data of v (for
+// non-replicated aligned vectors, only the home grid row/column does).
+func (v *Vector) HoldsData(pid int) bool {
+	if v.Replicated || v.Layout == Linear {
+		return true
+	}
+	if v.Layout == RowAligned {
+		return v.G.RowOf(pid) == v.Home
+	}
+	return v.G.ColOf(pid) == v.Home
+}
+
+// SameShape reports whether w has identical length, layout and map.
+func (v *Vector) SameShape(w *Vector) bool {
+	return v.N == w.N && v.G == w.G && v.Layout == w.Layout && v.Map == w.Map
+}
+
+// TempMatrix creates an SPMD-local zero matrix: a per-processor handle
+// holding only this processor's block. Every processor of the machine
+// must create the temporary with identical arguments.
+func (e *Env) TempMatrix(rows, cols int, rkind, ckind embed.MapKind) *Matrix {
+	m, err := NewMatrix(e.G, rows, cols, rkind, ckind)
+	if err != nil {
+		panic(err)
+	}
+	m.blocks = nil
+	m.isLocal = true
+	return m
+}
+
+// TempVector creates an SPMD-local zero vector (see TempMatrix).
+func (e *Env) TempVector(n int, layout Layout, kind embed.MapKind, home int, replicated bool) *Vector {
+	v, err := NewVector(e.G, n, layout, kind, home, replicated)
+	if err != nil {
+		panic(err)
+	}
+	v.vals = nil
+	v.isLocal = true
+	return v
+}

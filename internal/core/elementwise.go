@@ -1,0 +1,233 @@
+package core
+
+import "fmt"
+
+// Elementwise operations on distributed matrices and vectors. These
+// are the "local arithmetic" phases between primitives: no
+// communication, pure block loops, charged to the cost model at
+// flopsPer operations per element touched. Padding slots are never
+// visited.
+
+// MapRange applies f in place to every element a[i][j] with
+// rlo <= i < rhi and clo <= j < chi. f receives global indices.
+func (e *Env) MapRange(a *Matrix, rlo, rhi, clo, chi int, f func(i, j int, v float64) float64, flopsPer int) {
+	if rlo < 0 || rhi > a.Rows || clo < 0 || chi > a.Cols {
+		panic(fmt.Sprintf("core: MapRange [%d,%d)x[%d,%d) out of %dx%d", rlo, rhi, clo, chi, a.Rows, a.Cols))
+	}
+	pid := e.P.ID()
+	blk := a.L(pid)
+	b := a.CMap.B
+	myRow, myCol := e.GridRow(), e.GridCol()
+	count := 0
+	for lr := 0; lr < a.RMap.B; lr++ {
+		gi := a.RMap.GlobalOf(myRow, lr)
+		if gi < rlo || gi >= rhi {
+			continue
+		}
+		row := blk[lr*b : (lr+1)*b]
+		for lc := range row {
+			gj := a.CMap.GlobalOf(myCol, lc)
+			if gj < clo || gj >= chi {
+				continue
+			}
+			row[lc] = f(gi, gj, row[lc])
+			count++
+		}
+	}
+	e.P.Compute(count * flopsPer)
+}
+
+// MapMatrix applies f in place to every element.
+func (e *Env) MapMatrix(a *Matrix, f func(i, j int, v float64) float64, flopsPer int) {
+	e.MapRange(a, 0, a.Rows, 0, a.Cols, f, flopsPer)
+}
+
+// ZipMatrix applies dst[i][j] = f(dst[i][j], src[i][j]) in place; the
+// matrices must share shape, grid and maps so the blocks align.
+func (e *Env) ZipMatrix(dst, src *Matrix, f func(a, b float64) float64, flopsPer int) {
+	if !dst.SameShape(src) {
+		panic("core: ZipMatrix shape/embedding mismatch")
+	}
+	pid := e.P.ID()
+	db, sb := dst.L(pid), src.L(pid)
+	b := dst.CMap.B
+	myRow, myCol := e.GridRow(), e.GridCol()
+	count := 0
+	for lr := 0; lr < dst.RMap.B; lr++ {
+		if dst.RMap.GlobalOf(myRow, lr) < 0 {
+			continue
+		}
+		for lc := 0; lc < b; lc++ {
+			if dst.CMap.GlobalOf(myCol, lc) < 0 {
+				continue
+			}
+			i := lr*b + lc
+			db[i] = f(db[i], sb[i])
+			count++
+		}
+	}
+	e.P.Compute(count * flopsPer)
+}
+
+// UpdateOuter applies the restricted rank-1-style update
+//
+//	a[i][j] = f(a[i][j], cv[i], rv[j])   for i in [rlo,rhi), j in [clo,chi)
+//
+// where cv is col-aligned and rv row-aligned, both replicated (call
+// Distribute first — this is exactly the Distribute+elementwise flow
+// of the paper's Gaussian elimination and simplex updates). The
+// default f for elimination is a - c*r at 2 flops per element.
+func (e *Env) UpdateOuter(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int, f func(aij, ci, rj float64) float64, flopsPer int) {
+	if cv.Layout != ColAligned || cv.N != a.Rows || cv.Map != a.RMap {
+		panic("core: UpdateOuter cv incompatible with matrix rows")
+	}
+	if rv.Layout != RowAligned || rv.N != a.Cols || rv.Map != a.CMap {
+		panic("core: UpdateOuter rv incompatible with matrix cols")
+	}
+	if !cv.Replicated || !rv.Replicated {
+		panic("core: UpdateOuter needs replicated vectors (Distribute first)")
+	}
+	pid := e.P.ID()
+	blk := a.L(pid)
+	cvp, rvp := cv.L(pid), rv.L(pid)
+	b := a.CMap.B
+	myRow, myCol := e.GridRow(), e.GridCol()
+	count := 0
+	for lr := 0; lr < a.RMap.B; lr++ {
+		gi := a.RMap.GlobalOf(myRow, lr)
+		if gi < rlo || gi >= rhi {
+			continue
+		}
+		ci := cvp[lr]
+		row := blk[lr*b : (lr+1)*b]
+		for lc := range row {
+			gj := a.CMap.GlobalOf(myCol, lc)
+			if gj < clo || gj >= chi {
+				continue
+			}
+			row[lc] = f(row[lc], ci, rvp[lc])
+			count++
+		}
+	}
+	e.P.Compute(count * flopsPer)
+}
+
+// MapVec applies f in place to every element of v on its holders.
+// f receives the global index.
+func (e *Env) MapVec(v *Vector, f func(g int, x float64) float64, flopsPer int) {
+	pid := e.P.ID()
+	if !v.HoldsData(pid) {
+		return
+	}
+	pv := v.L(pid)
+	c := v.PieceCoord(pid)
+	count := 0
+	for l := range pv {
+		g := v.Map.GlobalOf(c, l)
+		if g < 0 {
+			continue
+		}
+		pv[l] = f(g, pv[l])
+		count++
+	}
+	e.P.Compute(count * flopsPer)
+}
+
+// ZipVec applies dst[g] = f(dst[g], src[g]) on processors holding
+// both; the vectors must share layout, map, and holders.
+func (e *Env) ZipVec(dst, src *Vector, f func(a, b float64) float64, flopsPer int) {
+	if !dst.SameShape(src) {
+		panic("core: ZipVec shape mismatch")
+	}
+	pid := e.P.ID()
+	if !dst.HoldsData(pid) {
+		return
+	}
+	if !src.HoldsData(pid) {
+		panic("core: ZipVec src not present where dst is (Distribute or realign first)")
+	}
+	dp, sp := dst.L(pid), src.L(pid)
+	c := dst.PieceCoord(pid)
+	count := 0
+	for l := range dp {
+		if dst.Map.GlobalOf(c, l) < 0 {
+			continue
+		}
+		dp[l] = f(dp[l], sp[l])
+		count++
+	}
+	e.P.Compute(count * flopsPer)
+}
+
+// CopyMatrix returns an SPMD-local deep copy of a (same embedding).
+func (e *Env) CopyMatrix(a *Matrix) *Matrix {
+	out := e.TempMatrix(a.Rows, a.Cols, a.RMap.Kind, a.CMap.Kind)
+	pid := e.P.ID()
+	copy(out.L(pid), a.L(pid))
+	e.P.Compute(len(out.L(pid)))
+	return out
+}
+
+// CopyVec returns an SPMD-local deep copy of v (same embedding).
+func (e *Env) CopyVec(v *Vector) *Vector {
+	out := e.TempVector(v.N, v.Layout, v.Map.Kind, v.Home, v.Replicated)
+	pid := e.P.ID()
+	if v.HoldsData(pid) {
+		copy(out.L(pid), v.L(pid))
+		e.P.Compute(v.Map.B)
+	}
+	return out
+}
+
+// StoreVec copies the values of src into the host-visible vector dst
+// (same embedding required). Apps use it to land SPMD results in
+// containers the host can read.
+func (e *Env) StoreVec(dst, src *Vector) {
+	if !dst.SameShape(src) {
+		panic("core: StoreVec shape mismatch")
+	}
+	if dst.Replicated != src.Replicated || dst.Home != src.Home {
+		panic("core: StoreVec holder mismatch")
+	}
+	pid := e.P.ID()
+	if src.HoldsData(pid) {
+		copy(dst.L(pid), src.L(pid))
+	}
+}
+
+// StoreMatrix copies the values of src into the host-visible matrix
+// dst (same embedding required).
+func (e *Env) StoreMatrix(dst, src *Matrix) {
+	if !dst.SameShape(src) {
+		panic("core: StoreMatrix shape mismatch")
+	}
+	pid := e.P.ID()
+	copy(dst.L(pid), src.L(pid))
+}
+
+// ZipVecWith is ZipVec with the global index exposed:
+// dst[g] = f(g, dst[g], src[g]) on common holders.
+func (e *Env) ZipVecWith(dst, src *Vector, f func(g int, a, b float64) float64, flopsPer int) {
+	if !dst.SameShape(src) {
+		panic("core: ZipVecWith shape mismatch")
+	}
+	pid := e.P.ID()
+	if !dst.HoldsData(pid) {
+		return
+	}
+	if !src.HoldsData(pid) {
+		panic("core: ZipVecWith src not present where dst is")
+	}
+	dp, sp := dst.L(pid), src.L(pid)
+	c := dst.PieceCoord(pid)
+	count := 0
+	for l := range dp {
+		g := dst.Map.GlobalOf(c, l)
+		if g < 0 {
+			continue
+		}
+		dp[l] = f(g, dp[l], sp[l])
+		count++
+	}
+	e.P.Compute(count * flopsPer)
+}

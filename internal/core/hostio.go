@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"vmprim/internal/embed"
+	"vmprim/internal/gray"
+	"vmprim/internal/serial"
+)
+
+// linearCoordOf returns the Linear-layout piece coordinate stored at
+// processor pid, and linearProcOf its inverse. Gray coding keeps
+// consecutive pieces on neighboring processors, matching the grid
+// embeddings.
+func linearCoordOf(pid int) int { return gray.Decode(pid) }
+
+func linearProcOf(c int) int { return gray.Encode(c) }
+
+// FromDense distributes a dense matrix onto grid g (host-side: no
+// simulated communication; loading input data is outside the timed
+// computation, as it was for the paper's experiments).
+func FromDense(g embed.Grid, dm *serial.Mat, rkind, ckind embed.MapKind) (*Matrix, error) {
+	a, err := NewMatrix(g, dm.R, dm.C, rkind, ckind)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < dm.R; i++ {
+		gr, lr := a.RMap.CoordOf(i), a.RMap.LocalOf(i)
+		for j := 0; j < dm.C; j++ {
+			gc, lc := a.CMap.CoordOf(j), a.CMap.LocalOf(j)
+			pid := g.ProcAt(gr, gc)
+			a.L(pid)[lr*a.CMap.B+lc] = dm.At(i, j)
+		}
+	}
+	return a, nil
+}
+
+// ToDense assembles the distributed matrix into a dense one
+// (host-side). It panics on SPMD-local temporaries, which hold only
+// one processor's block.
+func (a *Matrix) ToDense() *serial.Mat {
+	if a.isLocal {
+		panic("core: ToDense on an SPMD-local matrix")
+	}
+	dm := serial.NewMat(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		gr, lr := a.RMap.CoordOf(i), a.RMap.LocalOf(i)
+		for j := 0; j < a.Cols; j++ {
+			gc, lc := a.CMap.CoordOf(j), a.CMap.LocalOf(j)
+			pid := a.G.ProcAt(gr, gc)
+			dm.Set(i, j, a.L(pid)[lr*a.CMap.B+lc])
+		}
+	}
+	return dm
+}
+
+// VectorFromSlice distributes a dense vector (host-side). Layout,
+// kind, home and replicated have the NewVector meanings.
+func VectorFromSlice(g embed.Grid, x []float64, layout Layout, kind embed.MapKind, home int, replicated bool) (*Vector, error) {
+	v, err := NewVector(g, len(x), layout, kind, home, replicated)
+	if err != nil {
+		return nil, err
+	}
+	for e, val := range x {
+		c, l := v.Map.CoordOf(e), v.Map.LocalOf(e)
+		for _, pid := range v.holders(c) {
+			v.L(pid)[l] = val
+		}
+	}
+	return v, nil
+}
+
+// holders returns the processors that store piece coordinate c.
+func (v *Vector) holders(c int) []int {
+	switch v.Layout {
+	case Linear:
+		return []int{linearProcOf(c)}
+	case RowAligned:
+		if v.Replicated {
+			pids := make([]int, v.G.PRows())
+			for gr := range pids {
+				pids[gr] = v.G.ProcAt(gr, c)
+			}
+			return pids
+		}
+		return []int{v.G.ProcAt(v.Home, c)}
+	default: // ColAligned
+		if v.Replicated {
+			pids := make([]int, v.G.PCols())
+			for gc := range pids {
+				pids[gc] = v.G.ProcAt(c, gc)
+			}
+			return pids
+		}
+		return []int{v.G.ProcAt(c, v.Home)}
+	}
+}
+
+// ToSlice assembles the distributed vector into a dense slice
+// (host-side), reading each piece from one holder. It panics on
+// SPMD-local temporaries.
+func (v *Vector) ToSlice() []float64 {
+	if v.isLocal {
+		panic("core: ToSlice on an SPMD-local vector")
+	}
+	out := make([]float64, v.N)
+	for e := 0; e < v.N; e++ {
+		c, l := v.Map.CoordOf(e), v.Map.LocalOf(e)
+		out[e] = v.L(v.holders(c)[0])[l]
+	}
+	return out
+}
+
+// CheckReplicas verifies (host-side) that a replicated vector's copies
+// agree across all holders; it returns an error naming the first
+// mismatch. Tests use it to catch broken replication invariants.
+func (v *Vector) CheckReplicas() error {
+	if v.isLocal {
+		return fmt.Errorf("core: CheckReplicas on an SPMD-local vector")
+	}
+	if !v.Replicated {
+		return nil
+	}
+	for e := 0; e < v.N; e++ {
+		c, l := v.Map.CoordOf(e), v.Map.LocalOf(e)
+		hs := v.holders(c)
+		want := v.L(hs[0])[l]
+		for _, pid := range hs[1:] {
+			if got := v.L(pid)[l]; got != want {
+				return fmt.Errorf("core: replica mismatch at element %d: proc %d has %v, proc %d has %v",
+					e, hs[0], want, pid, got)
+			}
+		}
+	}
+	return nil
+}

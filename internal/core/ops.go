@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"vmprim/internal/collective"
+)
+
+// Op names the plain reduction operators of the Reduce primitive.
+type Op int
+
+const (
+	// OpSum adds.
+	OpSum Op = iota
+	// OpMax keeps the maximum.
+	OpMax
+	// OpMin keeps the minimum.
+	OpMin
+)
+
+// String returns the operator name.
+func (op Op) String() string {
+	switch op {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// identity returns the operator's identity element.
+func (op Op) identity() float64 {
+	switch op {
+	case OpSum:
+		return 0
+	case OpMax:
+		return math.Inf(-1)
+	case OpMin:
+		return math.Inf(1)
+	default:
+		panic("core: unknown Op")
+	}
+}
+
+// fold combines two scalars under the operator.
+func (op Op) fold(a, b float64) float64 {
+	switch op {
+	case OpSum:
+		return a + b
+	case OpMax:
+		if b > a {
+			return b
+		}
+		return a
+	case OpMin:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		panic("core: unknown Op")
+	}
+}
+
+// combiner returns the elementwise collective combiner.
+func (op Op) combiner() collective.Combiner {
+	switch op {
+	case OpSum:
+		return collective.Sum
+	case OpMax:
+		return collective.Max
+	case OpMin:
+		return collective.Min
+	default:
+		panic("core: unknown Op")
+	}
+}
+
+// LocOp names the value-with-location reduction operators used for
+// pivot selection (Gaussian elimination) and the entering-variable and
+// ratio tests (simplex). Ties resolve to the smallest index.
+type LocOp int
+
+const (
+	// LocMax finds the maximum value and its index.
+	LocMax LocOp = iota
+	// LocMin finds the minimum value and its index.
+	LocMin
+	// LocMaxAbs finds the maximum magnitude and its index; the value
+	// reported is the magnitude (fetch the signed element separately
+	// if needed).
+	LocMaxAbs
+)
+
+// String returns the operator name.
+func (op LocOp) String() string {
+	switch op {
+	case LocMax:
+		return "maxloc"
+	case LocMin:
+		return "minloc"
+	case LocMaxAbs:
+		return "maxabsloc"
+	default:
+		return fmt.Sprintf("LocOp(%d)", int(op))
+	}
+}
+
+// value applies the operator's value transform.
+func (op LocOp) value(v float64) float64 {
+	if op == LocMaxAbs {
+		return math.Abs(v)
+	}
+	return v
+}
+
+// identity returns the identity pair (value, index sentinel). The
+// index sentinel exceeds any real index, so a real pair with equal
+// value always wins a tie against the identity.
+func (op LocOp) identity() (float64, float64) {
+	if op == LocMin {
+		return math.Inf(1), locNone
+	}
+	return math.Inf(-1), locNone
+}
+
+// locNone is the index sentinel meaning "no element".
+const locNone = float64(1 << 60)
+
+// combiner returns the pair combiner.
+func (op LocOp) combiner() collective.Combiner {
+	if op == LocMin {
+		return collective.MinLoc
+	}
+	return collective.MaxLoc
+}
+
+// better reports whether pair (v2, i2) beats (v1, i1) under op.
+func (op LocOp) better(v1, i1, v2, i2 float64) bool {
+	if op == LocMin {
+		return v2 < v1 || (v2 == v1 && i2 < i1)
+	}
+	return v2 > v1 || (v2 == v1 && i2 < i1)
+}

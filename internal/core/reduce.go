@@ -1,0 +1,283 @@
+package core
+
+import (
+	"fmt"
+
+	"vmprim/internal/collective"
+)
+
+// This file implements the fourth primitive, Reduce, in its vector-
+// producing form (collapse one matrix axis), its scalar forms over a
+// single row or column with location (the pivot searches of Gaussian
+// elimination and simplex), and the vector loc-reduction used by the
+// simplex ratio test.
+
+// ReduceRows collapses the row axis: out[j] = op over i of a[i][j],
+// returned as a row-aligned vector. With replicate=true every grid row
+// receives the result (an all-reduce over the row dimensions, which
+// for long pieces uses recursive halving + doubling — the form that is
+// work-optimal for m > p lg p); otherwise the result lands on grid row
+// 0. The local pass costs one operation per local element, the
+// communication lg(p_r) messages of the m/p-sized local piece.
+func (e *Env) ReduceRows(a *Matrix, op Op, replicate bool) *Vector {
+	v := e.TempVector(a.Cols, RowAligned, a.CMap.Kind, 0, replicate)
+	pid := e.P.ID()
+	blk := a.L(pid)
+	b := a.CMap.B
+	piece := make([]float64, b)
+	for lc := 0; lc < b; lc++ {
+		piece[lc] = op.identity()
+	}
+	myRow := e.GridRow()
+	count := 0
+	for lr := 0; lr < a.RMap.B; lr++ {
+		if a.RMap.GlobalOf(myRow, lr) < 0 {
+			continue // padding row
+		}
+		row := blk[lr*b : (lr+1)*b]
+		for lc, val := range row {
+			piece[lc] = op.fold(piece[lc], val)
+		}
+		count += b
+	}
+	e.P.Compute(count)
+	e.finishReduce(v, piece, e.G.RowMask(), replicate, op)
+	return v
+}
+
+// ReduceCols collapses the column axis: out[i] = op over j of a[i][j],
+// returned as a col-aligned vector (on grid column 0 unless
+// replicated).
+func (e *Env) ReduceCols(a *Matrix, op Op, replicate bool) *Vector {
+	v := e.TempVector(a.Rows, ColAligned, a.RMap.Kind, 0, replicate)
+	pid := e.P.ID()
+	blk := a.L(pid)
+	b := a.CMap.B
+	piece := make([]float64, a.RMap.B)
+	myCol := e.GridCol()
+	count := 0
+	for lr := 0; lr < a.RMap.B; lr++ {
+		acc := op.identity()
+		row := blk[lr*b : (lr+1)*b]
+		for lc, val := range row {
+			if a.CMap.GlobalOf(myCol, lc) < 0 {
+				continue // padding column
+			}
+			acc = op.fold(acc, val)
+			count++
+		}
+		piece[lr] = acc
+	}
+	e.P.Compute(count)
+	e.finishReduce(v, piece, e.G.ColMask(), replicate, op)
+	return v
+}
+
+// finishReduce combines the local pieces across mask and stores the
+// result into v on the receiving processors.
+func (e *Env) finishReduce(v *Vector, piece []float64, mask int, replicate bool, op Op) {
+	pid := e.P.ID()
+	if replicate {
+		res := collective.AllReduce(e.P, mask, e.NextTag2(), piece, op.combiner())
+		copy(v.L(pid), res)
+		return
+	}
+	res := collective.Reduce(e.P, mask, e.NextTag(), 0, piece, op.combiner())
+	if res != nil {
+		copy(v.L(pid), res)
+	}
+}
+
+// ReduceAll reduces every element of the matrix to a single scalar,
+// replicated on all processors: a local fold followed by a one-word
+// all-reduce over the whole cube.
+func (e *Env) ReduceAll(a *Matrix, op Op) float64 {
+	pid := e.P.ID()
+	blk := a.L(pid)
+	b := a.CMap.B
+	myRow, myCol := e.GridRow(), e.GridCol()
+	acc := op.identity()
+	count := 0
+	for lr := 0; lr < a.RMap.B; lr++ {
+		if a.RMap.GlobalOf(myRow, lr) < 0 {
+			continue
+		}
+		row := blk[lr*b : (lr+1)*b]
+		for lc, val := range row {
+			if a.CMap.GlobalOf(myCol, lc) < 0 {
+				continue
+			}
+			acc = op.fold(acc, val)
+			count++
+		}
+	}
+	e.P.Compute(count)
+	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{acc}, op.combiner())
+	return res[0]
+}
+
+// ReduceColLoc finds op over column j restricted to rows [lo, hi),
+// returning the winning (transformed) value and its global row index,
+// replicated on every processor. An empty range returns index -1. This
+// is the Gaussian-elimination pivot search: the owning grid column
+// folds its local elements, then one pair rides a full-cube
+// all-reduce.
+func (e *Env) ReduceColLoc(a *Matrix, j, lo, hi int, op LocOp) (float64, int) {
+	if j < 0 || j >= a.Cols {
+		panic(fmt.Sprintf("core: ReduceColLoc column %d out of [0,%d)", j, a.Cols))
+	}
+	val, idx := op.identity()
+	if e.GridCol() == a.CMap.CoordOf(j) {
+		pid := e.P.ID()
+		blk := a.L(pid)
+		lc := a.CMap.LocalOf(j)
+		b := a.CMap.B
+		myRow := e.GridRow()
+		count := 0
+		for lr := 0; lr < a.RMap.B; lr++ {
+			gi := a.RMap.GlobalOf(myRow, lr)
+			if gi < lo || gi >= hi {
+				continue
+			}
+			v := op.value(blk[lr*b+lc])
+			if op.better(val, idx, v, float64(gi)) {
+				val, idx = v, float64(gi)
+			}
+			count++
+		}
+		e.P.Compute(count)
+	}
+	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{val, idx}, op.combiner())
+	if res[1] >= locNone {
+		return res[0], -1
+	}
+	return res[0], int(res[1])
+}
+
+// ReduceRowLoc finds op over row i restricted to columns [lo, hi),
+// returning the winning value and its global column index, replicated
+// everywhere: the simplex entering-variable test.
+func (e *Env) ReduceRowLoc(a *Matrix, i, lo, hi int, op LocOp) (float64, int) {
+	if i < 0 || i >= a.Rows {
+		panic(fmt.Sprintf("core: ReduceRowLoc row %d out of [0,%d)", i, a.Rows))
+	}
+	val, idx := op.identity()
+	if e.GridRow() == a.RMap.CoordOf(i) {
+		pid := e.P.ID()
+		blk := a.L(pid)
+		lr := a.RMap.LocalOf(i)
+		b := a.CMap.B
+		myCol := e.GridCol()
+		count := 0
+		for lc := 0; lc < b; lc++ {
+			gj := a.CMap.GlobalOf(myCol, lc)
+			if gj < lo || gj >= hi {
+				continue
+			}
+			v := op.value(blk[lr*b+lc])
+			if op.better(val, idx, v, float64(gj)) {
+				val, idx = v, float64(gj)
+			}
+			count++
+		}
+		e.P.Compute(count)
+	}
+	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{val, idx}, op.combiner())
+	if res[1] >= locNone {
+		return res[0], -1
+	}
+	return res[0], int(res[1])
+}
+
+// ZipLocVec reduces over two co-located vectors: for each index g in
+// [lo, hi), f(g, v[g], w[g]) yields a candidate value and whether it
+// participates; the winning (value, index) under op is replicated on
+// every processor. An empty candidate set returns index -1. This is
+// the simplex ratio test: v the entering column, w the right-hand
+// side, f the guarded ratio (Bland-style rules use g to key candidates
+// by basis variable).
+func (e *Env) ZipLocVec(v, w *Vector, lo, hi int, f func(g int, a, b float64) (float64, bool), op LocOp) (float64, int) {
+	if !v.SameShape(w) {
+		panic("core: ZipLocVec vectors have different shapes")
+	}
+	pid := e.P.ID()
+	val, idx := op.identity()
+	if v.HoldsData(pid) && w.HoldsData(pid) && e.isCanonicalHolder(v) {
+		pv, pw := v.L(pid), w.L(pid)
+		c := v.PieceCoord(pid)
+		count := 0
+		for l := 0; l < v.Map.B; l++ {
+			g := v.Map.GlobalOf(c, l)
+			if g < lo || g >= hi {
+				continue
+			}
+			cand, ok := f(g, pv[l], pw[l])
+			count++
+			if !ok {
+				continue
+			}
+			if op.better(val, idx, op.value(cand), float64(g)) {
+				val, idx = op.value(cand), float64(g)
+			}
+		}
+		e.P.Compute(2 * count)
+	}
+	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{val, idx}, op.combiner())
+	if res[1] >= locNone {
+		return res[0], -1
+	}
+	return res[0], int(res[1])
+}
+
+// isCanonicalHolder reports whether this processor is the designated
+// contributor for its piece of v: replicated vectors have one
+// contributor per piece (grid row/column 0) so reductions do not count
+// copies twice.
+func (e *Env) isCanonicalHolder(v *Vector) bool {
+	switch {
+	case v.Layout == Linear:
+		return true
+	case !v.Replicated:
+		return true
+	case v.Layout == RowAligned:
+		return e.GridRow() == 0
+	default:
+		return e.GridCol() == 0
+	}
+}
+
+// ReduceVec folds all elements of a vector to a scalar, replicated on
+// every processor.
+func (e *Env) ReduceVec(v *Vector, op Op) float64 {
+	pid := e.P.ID()
+	acc := op.identity()
+	if v.HoldsData(pid) && e.isCanonicalHolder(v) {
+		pv := v.L(pid)
+		c := v.PieceCoord(pid)
+		count := 0
+		for l := 0; l < v.Map.B; l++ {
+			if v.Map.GlobalOf(c, l) < 0 {
+				continue
+			}
+			acc = op.fold(acc, pv[l])
+			count++
+		}
+		e.P.Compute(count)
+	}
+	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{acc}, op.combiner())
+	return res[0]
+}
+
+// AllReduceRowsPiece all-reduces a local row-aligned piece (one value
+// per local column) across the grid's row dimensions, returning the
+// combined piece on every processor. Fused application kernels use it
+// to finish a local multiply-accumulate with the Reduce primitive's
+// communication structure.
+func (e *Env) AllReduceRowsPiece(piece []float64, op Op) []float64 {
+	return collective.AllReduce(e.P, e.G.RowMask(), e.NextTag2(), piece, op.combiner())
+}
+
+// AllReduceColsPiece is AllReduceRowsPiece along the column dimensions.
+func (e *Env) AllReduceColsPiece(piece []float64, op Op) []float64 {
+	return collective.AllReduce(e.P, e.G.ColMask(), e.NextTag2(), piece, op.combiner())
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vmprim/internal/embed"
+	"vmprim/internal/serial"
+)
+
+func serialReduceRows(dm *serial.Mat, op Op) []float64 {
+	out := make([]float64, dm.C)
+	for j := range out {
+		acc := op.identity()
+		for i := 0; i < dm.R; i++ {
+			acc = op.fold(acc, dm.At(i, j))
+		}
+		out[j] = acc
+	}
+	return out
+}
+
+func serialReduceCols(dm *serial.Mat, op Op) []float64 {
+	out := make([]float64, dm.R)
+	for i := range out {
+		acc := op.identity()
+		for j := 0; j < dm.C; j++ {
+			acc = op.fold(acc, dm.At(i, j))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+func TestReduceRowsAllOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, g := range testGrids(t) {
+		for _, kind := range []embed.MapKind{embed.Block, embed.Cyclic} {
+			for _, shape := range [][2]int{{1, 1}, {4, 4}, {9, 5}, {6, 11}} {
+				dm := randDense(rng, shape[0], shape[1])
+				a, _ := FromDense(g, dm, kind, kind)
+				for _, op := range []Op{OpSum, OpMax, OpMin} {
+					for _, repl := range []bool{false, true} {
+						out, _ := NewVector(g, shape[1], RowAligned, kind, 0, repl)
+						spmd(t, g, func(e *Env) {
+							e.StoreVec(out, e.ReduceRows(a, op, repl))
+						})
+						vecEqual(t, out.ToSlice(), serialReduceRows(dm, op), 1e-12, "ReduceRows "+op.String())
+						if err := out.CheckReplicas(); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReduceColsAllOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, g := range testGrids(t) {
+		for _, kind := range []embed.MapKind{embed.Block, embed.Cyclic} {
+			dm := randDense(rng, 7, 9)
+			a, _ := FromDense(g, dm, kind, kind)
+			for _, op := range []Op{OpSum, OpMax, OpMin} {
+				for _, repl := range []bool{false, true} {
+					out, _ := NewVector(g, 7, ColAligned, kind, 0, repl)
+					spmd(t, g, func(e *Env) {
+						e.StoreVec(out, e.ReduceCols(a, op, repl))
+					})
+					vecEqual(t, out.ToSlice(), serialReduceCols(dm, op), 1e-12, "ReduceCols "+op.String())
+				}
+			}
+		}
+	}
+}
+
+func TestReduceAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, g := range testGrids(t) {
+		dm := randDense(rng, 6, 7)
+		a, _ := FromDense(g, dm, embed.Block, embed.Cyclic)
+		var sum, max, min float64
+		spmd(t, g, func(e *Env) {
+			s := e.ReduceAll(a, OpSum)
+			mx := e.ReduceAll(a, OpMax)
+			mn := e.ReduceAll(a, OpMin)
+			if e.P.ID() == 0 {
+				sum, max, min = s, mx, mn
+			}
+		})
+		wantSum, wantMax, wantMin := 0.0, math.Inf(-1), math.Inf(1)
+		for _, v := range dm.A {
+			wantSum += v
+			wantMax = math.Max(wantMax, v)
+			wantMin = math.Min(wantMin, v)
+		}
+		if math.Abs(sum-wantSum) > 1e-10 || max != wantMax || min != wantMin {
+			t.Fatalf("ReduceAll: %v %v %v, want %v %v %v", sum, max, min, wantSum, wantMax, wantMin)
+		}
+	}
+}
+
+func TestReduceColLoc(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, g := range testGrids(t) {
+		for _, kind := range []embed.MapKind{embed.Block, embed.Cyclic} {
+			dm := randDense(rng, 11, 5)
+			a, _ := FromDense(g, dm, kind, kind)
+			for _, j := range []int{0, 3, 4} {
+				for _, bounds := range [][2]int{{0, 11}, {4, 11}, {4, 5}, {7, 7}} {
+					lo, hi := bounds[0], bounds[1]
+					for _, op := range []LocOp{LocMax, LocMin, LocMaxAbs} {
+						var gotVal float64
+						var gotIdx int
+						spmd(t, g, func(e *Env) {
+							v, idx := e.ReduceColLoc(a, j, lo, hi, op)
+							if e.P.ID() == 0 {
+								gotVal, gotIdx = v, idx
+							}
+						})
+						// Serial reference.
+						wantVal, _ := op.identity()
+						wantIdx := -1
+						for i := lo; i < hi; i++ {
+							v := op.value(dm.At(i, j))
+							if wantIdx == -1 || op.better(wantVal, float64(wantIdx), v, float64(i)) {
+								wantVal, wantIdx = v, i
+							}
+						}
+						if gotIdx != wantIdx {
+							t.Fatalf("%v col %d [%d,%d): idx %d, want %d", op, j, lo, hi, gotIdx, wantIdx)
+						}
+						if wantIdx >= 0 && math.Abs(gotVal-wantVal) > 1e-12 {
+							t.Fatalf("%v col %d: val %v, want %v", op, j, gotVal, wantVal)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestReduceRowLoc(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, g := range testGrids(t) {
+		dm := randDense(rng, 5, 11)
+		a, _ := FromDense(g, dm, embed.Block, embed.Cyclic)
+		for _, i := range []int{0, 4} {
+			for _, bounds := range [][2]int{{0, 11}, {3, 9}, {10, 10}} {
+				lo, hi := bounds[0], bounds[1]
+				var gotVal float64
+				var gotIdx int
+				spmd(t, g, func(e *Env) {
+					v, idx := e.ReduceRowLoc(a, i, lo, hi, LocMin)
+					if e.P.ID() == 0 {
+						gotVal, gotIdx = v, idx
+					}
+				})
+				wantVal, wantIdx := math.Inf(1), -1
+				for j := lo; j < hi; j++ {
+					if dm.At(i, j) < wantVal {
+						wantVal, wantIdx = dm.At(i, j), j
+					}
+				}
+				if gotIdx != wantIdx || (wantIdx >= 0 && math.Abs(gotVal-wantVal) > 1e-12) {
+					t.Fatalf("row %d [%d,%d): (%v,%d), want (%v,%d)", i, lo, hi, gotVal, gotIdx, wantVal, wantIdx)
+				}
+			}
+		}
+	}
+}
+
+func TestZipLocVecRatioTest(t *testing.T) {
+	// The simplex ratio test: minimize rhs[i]/col[i] over col[i] > eps.
+	rng := rand.New(rand.NewSource(25))
+	for _, g := range testGrids(t) {
+		n := 9
+		col := make([]float64, n)
+		rhs := make([]float64, n)
+		for i := range col {
+			col[i] = rng.NormFloat64() // mixed signs: some rows invalid
+			rhs[i] = rng.Float64() * 10
+		}
+		vcol, _ := VectorFromSlice(g, col, ColAligned, embed.Block, 0, true)
+		vrhs, _ := VectorFromSlice(g, rhs, ColAligned, embed.Block, 0, true)
+		var gotVal float64
+		var gotIdx int
+		spmd(t, g, func(e *Env) {
+			v, idx := e.ZipLocVec(vcol, vrhs, 0, n, func(_ int, c, r float64) (float64, bool) {
+				if c <= 1e-9 {
+					return 0, false
+				}
+				return r / c, true
+			}, LocMin)
+			if e.P.ID() == 0 {
+				gotVal, gotIdx = v, idx
+			}
+		})
+		wantVal, wantIdx := math.Inf(1), -1
+		for i := 0; i < n; i++ {
+			if col[i] <= 1e-9 {
+				continue
+			}
+			if r := rhs[i] / col[i]; r < wantVal {
+				wantVal, wantIdx = r, i
+			}
+		}
+		if gotIdx != wantIdx || (wantIdx >= 0 && math.Abs(gotVal-wantVal) > 1e-12) {
+			t.Fatalf("ratio test: (%v,%d), want (%v,%d)", gotVal, gotIdx, wantVal, wantIdx)
+		}
+	}
+}
+
+func TestZipLocVecEmpty(t *testing.T) {
+	g, _ := embed.NewGrid(1, 1)
+	col := []float64{-1, -2, -3, -4}
+	vcol, _ := VectorFromSlice(g, col, ColAligned, embed.Block, 0, true)
+	spmd(t, g, func(e *Env) {
+		_, idx := e.ZipLocVec(vcol, vcol, 0, 4, func(_ int, c, r float64) (float64, bool) {
+			return 0, false // nothing valid
+		}, LocMin)
+		if idx != -1 {
+			panic("expected empty result")
+		}
+	})
+}
+
+func TestReduceVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	for _, g := range testGrids(t) {
+		x := make([]float64, 10)
+		want := 0.0
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			want += x[i]
+		}
+		for _, layout := range []Layout{Linear, RowAligned, ColAligned} {
+			for _, repl := range []bool{false, true} {
+				if layout == Linear && repl {
+					continue
+				}
+				v, _ := VectorFromSlice(g, x, layout, embed.Block, 0, repl)
+				var got float64
+				spmd(t, g, func(e *Env) {
+					s := e.ReduceVec(v, OpSum)
+					if e.P.ID() == 0 {
+						got = s
+					}
+				})
+				if math.Abs(got-want) > 1e-10 {
+					t.Fatalf("%v repl=%v: sum %v, want %v (replication double-count?)", layout, repl, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRealignAllPairs(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	type spec struct {
+		layout Layout
+		repl   bool
+	}
+	specs := []spec{{Linear, false}, {RowAligned, false}, {RowAligned, true}, {ColAligned, false}, {ColAligned, true}}
+	for _, g := range testGrids(t) {
+		x := make([]float64, 11)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		for _, from := range specs {
+			for _, to := range specs {
+				fromHome, toHome := 0, 0
+				if from.layout == RowAligned {
+					fromHome = g.PRows() - 1
+				}
+				if from.layout == ColAligned {
+					fromHome = g.PCols() - 1
+				}
+				v, err := VectorFromSlice(g, x, from.layout, embed.Block, fromHome, from.repl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := NewVector(g, 11, to.layout, embed.Cyclic, toHome, to.repl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				spmd(t, g, func(e *Env) {
+					w := e.Realign(v, to.layout, embed.Cyclic, toHome, to.repl)
+					e.StoreVec(out, w)
+				})
+				vecEqual(t, out.ToSlice(), x, 0, "Realign")
+				if err := out.CheckReplicas(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func TestToLinearRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for _, g := range testGrids(t) {
+		x := make([]float64, 13)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		v, _ := VectorFromSlice(g, x, RowAligned, embed.Block, 0, true)
+		out, _ := NewVector(g, 13, Linear, embed.Block, 0, false)
+		spmd(t, g, func(e *Env) {
+			e.StoreVec(out, e.ToLinear(v))
+		})
+		vecEqual(t, out.ToSlice(), x, 0, "ToLinear")
+	}
+}
+
+func TestTransposeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, g := range testGrids(t) {
+		for _, kind := range []embed.MapKind{embed.Block, embed.Cyclic} {
+			for _, shape := range [][2]int{{1, 5}, {5, 1}, {4, 4}, {7, 9}, {9, 7}} {
+				dm := randDense(rng, shape[0], shape[1])
+				a, _ := FromDense(g, dm, kind, kind)
+				out, _ := NewMatrix(g, shape[1], shape[0], kind, kind)
+				spmd(t, g, func(e *Env) {
+					e.TransposeInto(out, a)
+				})
+				matEqual(t, out.ToDense(), dm.Transpose(), 0, "Transpose")
+			}
+		}
+	}
+}
+
+func TestTransposeTwiceIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for _, g := range testGrids(t) {
+		dm := randDense(rng, 6, 9)
+		a, _ := FromDense(g, dm, embed.Block, embed.Cyclic)
+		out, _ := NewMatrix(g, 6, 9, embed.Block, embed.Cyclic)
+		spmd(t, g, func(e *Env) {
+			tm := e.Transpose(a)
+			e.TransposeInto(out, tm)
+		})
+		matEqual(t, out.ToDense(), dm, 0, "double transpose")
+	}
+}
+
+// TestPrimitiveCompositionMatvec is the integration check that the
+// paper's vector-matrix multiply composition — Distribute the vector
+// over the rows, elementwise multiply, Reduce the rows — computes
+// x*A, using only the four primitives.
+func TestPrimitiveCompositionMatvec(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for _, g := range testGrids(t) {
+		for _, shape := range [][2]int{{4, 4}, {7, 5}, {3, 9}} {
+			dm := randDense(rng, shape[0], shape[1])
+			x := make([]float64, shape[0])
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			a, _ := FromDense(g, dm, embed.Block, embed.Block)
+			xv, _ := VectorFromSlice(g, x, ColAligned, embed.Block, 0, false)
+			out, _ := NewVector(g, shape[1], RowAligned, embed.Block, 0, true)
+			spmd(t, g, func(e *Env) {
+				xs := e.SpreadCols(xv, shape[1], embed.Block) // Distribute
+				prod := e.CopyMatrix(a)
+				e.ZipMatrix(prod, xs, func(av, xvv float64) float64 { return av * xvv }, 1)
+				y := e.ReduceRows(prod, OpSum, true) // Reduce
+				e.StoreVec(out, y)
+			})
+			vecEqual(t, out.ToSlice(), serial.VecMatMul(x, dm), 1e-10, "primitive matvec")
+		}
+	}
+}
+
+func TestReduceScatterPathInLongReduce(t *testing.T) {
+	// Long pieces push AllReduce onto the halving+doubling path; the
+	// result must not depend on which path was taken.
+	g, _ := embed.NewGrid(3, 2)
+	rng := rand.New(rand.NewSource(32))
+	dm := randDense(rng, 64, 64)
+	a, _ := FromDense(g, dm, embed.Block, embed.Block)
+	out, _ := NewVector(g, 64, RowAligned, embed.Block, 0, true)
+	spmd(t, g, func(e *Env) {
+		e.StoreVec(out, e.ReduceRows(a, OpSum, true))
+	})
+	vecEqual(t, out.ToSlice(), serialReduceRows(dm, OpSum), 1e-10, "long ReduceRows")
+	if err := out.CheckReplicas(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vmprim/internal/embed"
+	"vmprim/internal/router"
+)
+
+// Embedding changes. The paper notes that "the primitives may indicate
+// a change from one embedding to another": converting a vector between
+// its linear, row-aligned and col-aligned embeddings, and transposing
+// a matrix, are arbitrary (but regular) personalized communications.
+// They are implemented on the dimension-ordered router with one
+// combined message per (source, destination) processor pair — the
+// message combining that distinguishes a primitive from naive
+// element-at-a-time access.
+
+// remapItem is one (global index, value) pair in flight during an
+// embedding change. Keys must be nonnegative.
+type remapItem struct {
+	key int
+	val float64
+}
+
+// remapExchange routes every processor's items to dstOf(key) and
+// returns the items that arrived here. All processors call it
+// together.
+func (e *Env) remapExchange(items []remapItem, dstOf func(key int) int) []remapItem {
+	buckets := make(map[int][]float64)
+	for _, it := range items {
+		d := dstOf(it.key)
+		buckets[d] = append(buckets[d], float64(it.key), it.val)
+	}
+	msgs := make([]router.Msg, 0, len(buckets))
+	for d, words := range buckets {
+		msgs = append(msgs, router.Msg{Dst: d, Key: len(words) / 2, Words: words})
+	}
+	// Map iteration order is random; sort for run-to-run determinism.
+	sort.Slice(msgs, func(i, j int) bool { return msgs[i].Dst < msgs[j].Dst })
+	got := router.Route(e.P, e.NextTag(), msgs)
+	var recv []remapItem
+	for _, m := range got {
+		for i := 0; i+1 < len(m.Words); i += 2 {
+			recv = append(recv, remapItem{key: int(m.Words[i]), val: m.Words[i+1]})
+		}
+	}
+	return recv
+}
+
+// ownedVecItems lists the (index, value) pairs of v this processor is
+// the canonical contributor for.
+func (e *Env) ownedVecItems(v *Vector) []remapItem {
+	pid := e.P.ID()
+	if !v.HoldsData(pid) || !e.isCanonicalHolder(v) {
+		return nil
+	}
+	pv := v.L(pid)
+	c := v.PieceCoord(pid)
+	items := make([]remapItem, 0, len(pv))
+	for l, val := range pv {
+		if g := v.Map.GlobalOf(c, l); g >= 0 {
+			items = append(items, remapItem{key: g, val: val})
+		}
+	}
+	return items
+}
+
+// Realign converts a vector to another embedding: layout, map kind,
+// home (grid row for RowAligned, grid column for ColAligned; ignored
+// for Linear) and replication. It returns a new vector; the input is
+// unchanged. One routed personalized communication moves every element
+// to its new owner; replication, if requested, adds a Distribute.
+func (e *Env) Realign(v *Vector, layout Layout, kind embed.MapKind, home int, replicated bool) *Vector {
+	out := e.TempVector(v.N, layout, kind, home, false)
+	items := e.ownedVecItems(v)
+	dstOf := func(g int) int {
+		c := out.Map.CoordOf(g)
+		switch layout {
+		case Linear:
+			return linearProcOf(c)
+		case RowAligned:
+			return e.G.ProcAt(home, c)
+		default:
+			return e.G.ProcAt(c, home)
+		}
+	}
+	recv := e.remapExchange(items, dstOf)
+	pid := e.P.ID()
+	if len(recv) > 0 {
+		pv := out.L(pid)
+		for _, it := range recv {
+			pv[out.Map.LocalOf(it.key)] = it.val
+		}
+		e.P.Compute(len(recv))
+	}
+	if replicated && layout != Linear {
+		return e.Distribute(out)
+	}
+	return out
+}
+
+// ToLinear converts any vector to the load-balanced linear embedding.
+func (e *Env) ToLinear(v *Vector) *Vector {
+	return e.Realign(v, Linear, v.Map.Kind, 0, false)
+}
+
+// TransposeInto writes a's transpose into dst, which must be a
+// Cols x Rows matrix on the same grid (host-created if the host wants
+// to read the result). One routed personalized communication with
+// combined per-processor-pair messages carries every element to its
+// transposed owner — the classic hypercube matrix transposition as an
+// embedding change.
+func (e *Env) TransposeInto(dst, a *Matrix) {
+	if dst.Rows != a.Cols || dst.Cols != a.Rows || dst.G != a.G {
+		panic(fmt.Sprintf("core: TransposeInto dst %dx%d incompatible with src %dx%d",
+			dst.Rows, dst.Cols, a.Rows, a.Cols))
+	}
+	pid := e.P.ID()
+	blk := a.L(pid)
+	b := a.CMap.B
+	myRow, myCol := e.GridRow(), e.GridCol()
+	var items []remapItem
+	for lr := 0; lr < a.RMap.B; lr++ {
+		gi := a.RMap.GlobalOf(myRow, lr)
+		if gi < 0 {
+			continue
+		}
+		for lc := 0; lc < b; lc++ {
+			gj := a.CMap.GlobalOf(myCol, lc)
+			if gj < 0 {
+				continue
+			}
+			// Element (gi, gj) becomes dst element (gj, gi).
+			items = append(items, remapItem{key: gj*dst.Cols + gi, val: blk[lr*b+lc]})
+		}
+	}
+	dstOf := func(key int) int { return dst.OwnerOf(key/dst.Cols, key%dst.Cols) }
+	recv := e.remapExchange(items, dstOf)
+	if len(recv) > 0 {
+		db := dst.L(pid)
+		bc := dst.CMap.B
+		for _, it := range recv {
+			i, j := it.key/dst.Cols, it.key%dst.Cols
+			db[dst.RMap.LocalOf(i)*bc+dst.CMap.LocalOf(j)] = it.val
+		}
+		e.P.Compute(len(recv))
+	}
+}
+
+// Transpose returns a's transpose as an SPMD-local temporary, with row
+// and column map kinds swapped along with the axes.
+func (e *Env) Transpose(a *Matrix) *Matrix {
+	out := e.TempMatrix(a.Cols, a.Rows, a.CMap.Kind, a.RMap.Kind)
+	e.TransposeInto(out, a)
+	return out
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"vmprim/internal/collective"
+	"vmprim/internal/embed"
+)
+
+// This file implements the third primitive, Distribute: replicating an
+// aligned vector across the orthogonal grid axis, and its matrix-
+// shaped form that materializes v as every row (column) of a matrix.
+
+// Distribute replicates an aligned vector across the orthogonal grid
+// dimensions: a row-aligned vector becomes present on every grid row,
+// a col-aligned one on every grid column. It returns a new replicated
+// vector (the input is unchanged); distributing an already-replicated
+// vector just copies it locally. The cost is one binomial broadcast of
+// the m^(1/2)/p^(1/2)-sized piece over the orthogonal cube dimensions
+// — or, for long pieces, the bandwidth-optimal scatter/all-gather.
+func (e *Env) Distribute(v *Vector) *Vector {
+	if v.Layout == Linear {
+		panic("core: Distribute needs an aligned vector (convert with AlignRows/AlignCols)")
+	}
+	out := e.TempVector(v.N, v.Layout, v.Map.Kind, v.Home, true)
+	pid := e.P.ID()
+	if v.Replicated {
+		copy(out.L(pid), v.L(pid))
+		e.P.Compute(v.Map.B)
+		return out
+	}
+	var mask, rootRel int
+	if v.Layout == RowAligned {
+		mask, rootRel = e.G.RowMask(), e.G.RowRel(v.Home)
+	} else {
+		mask, rootRel = e.G.ColMask(), e.G.ColRel(v.Home)
+	}
+	var src []float64
+	if v.HoldsData(pid) {
+		src = v.L(pid)
+	}
+	piece := e.bcastBest(mask, rootRel, src, v.Map.B)
+	copy(out.L(pid), piece)
+	return out
+}
+
+// bcastBest broadcasts a piece of known length over mask, choosing the
+// binomial tree for short payloads and scatter/all-gather for long
+// ones by comparing modelled costs (every processor computes the same
+// choice from the same parameters, so the collectives stay matched).
+func (e *Env) bcastBest(mask, rootRel int, src []float64, length int) []float64 {
+	k := 0
+	for m := mask; m != 0; m &= m - 1 {
+		k++
+	}
+	params := e.P.Params()
+	tree := float64(k) * (float64(params.CommStartup) + float64(length)*float64(params.CommPerWord))
+	sag := 2*float64(k)*float64(params.CommStartup) + 2*float64(length)*float64(params.CommPerWord)
+	if k > 0 && length%(1<<k) == 0 && length > 0 && sag < tree {
+		return collective.BcastLarge(e.P, mask, e.NextTag2(), rootRel, src)
+	}
+	return collective.Bcast(e.P, mask, e.NextTag(), rootRel, src)
+}
+
+// SpreadRows materializes a row-aligned vector as a matrix with the
+// given number of rows, every one of which equals v — the literal
+// matrix-shaped Distribute of the paper's primitive compositions
+// (vector-matrix multiply as Distribute, elementwise multiply,
+// Reduce). Row map kind follows rkind.
+func (e *Env) SpreadRows(v *Vector, rows int, rkind embed.MapKind) *Matrix {
+	if v.Layout != RowAligned {
+		panic("core: SpreadRows needs a row-aligned vector")
+	}
+	rep := v
+	if !v.Replicated {
+		rep = e.Distribute(v)
+	}
+	out := e.TempMatrix(rows, v.N, rkind, v.Map.Kind)
+	pid := e.P.ID()
+	blk := out.L(pid)
+	piece := rep.L(pid)
+	b := out.CMap.B
+	for r := 0; r < out.RMap.B; r++ {
+		copy(blk[r*b:(r+1)*b], piece)
+	}
+	e.P.Compute(out.RMap.B * b)
+	return out
+}
+
+// SpreadCols materializes a col-aligned vector as a matrix with the
+// given number of columns, every one of which equals v.
+func (e *Env) SpreadCols(v *Vector, cols int, ckind embed.MapKind) *Matrix {
+	if v.Layout != ColAligned {
+		panic("core: SpreadCols needs a col-aligned vector")
+	}
+	rep := v
+	if !v.Replicated {
+		rep = e.Distribute(v)
+	}
+	out := e.TempMatrix(v.N, cols, v.Map.Kind, ckind)
+	pid := e.P.ID()
+	blk := out.L(pid)
+	piece := rep.L(pid)
+	b := out.CMap.B
+	for r := 0; r < out.RMap.B; r++ {
+		val := piece[r]
+		row := blk[r*b : (r+1)*b]
+		for c := range row {
+			row[c] = val
+		}
+	}
+	e.P.Compute(out.RMap.B * b)
+	return out
+}

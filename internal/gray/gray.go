@@ -1,0 +1,120 @@
+// Package gray provides binary-reflected Gray codes and Boolean-cube
+// bit utilities. Gray codes are the embedding substrate of the library:
+// a d-bit binary-reflected Gray code maps a ring (or line) of 2^d grid
+// coordinates onto a d-dimensional Boolean cube so that adjacent
+// coordinates are cube neighbors (Hamming distance one). Matrix and
+// vector embeddings in internal/embed use one Gray code per processor
+// grid axis, following the load-balanced embeddings of Agrawal,
+// Blelloch, Krawitz and Phillips (SPAA 1989) and the mesh-embedding
+// literature it builds on (Ho & Johnsson).
+package gray
+
+import "math/bits"
+
+// Encode returns the binary-reflected Gray code of i: g = i XOR (i >> 1).
+// Successive integers map to codes at Hamming distance one.
+func Encode(i int) int {
+	return i ^ (i >> 1)
+}
+
+// Decode inverts Encode: it returns the integer whose Gray code is g.
+func Decode(g int) int {
+	i := 0
+	for ; g != 0; g >>= 1 {
+		i ^= g
+	}
+	return i
+}
+
+// ChangeBit returns the index of the bit that changes between the Gray
+// codes of i and i+1. For the binary-reflected code this is the number
+// of trailing ones of i, equivalently the lowest set bit of i+1.
+func ChangeBit(i int) int {
+	return bits.TrailingZeros(uint(i + 1))
+}
+
+// Log2 returns the base-2 logarithm of the power of two n.
+// It panics if n is not a positive power of two: cube sizes, grid
+// extents and block counts in this library are powers of two by
+// construction, so a non-power is a programming error.
+func Log2(n int) int {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("gray: Log2 of non-power-of-two")
+	}
+	return bits.TrailingZeros(uint(n))
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// CeilPow2 returns the smallest power of two >= n (n >= 1).
+func CeilPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// CeilLog2 returns ceil(log2(n)) for n >= 1.
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// OnesCount returns the number of set bits of x (the Hamming weight).
+// The Hamming distance between two cube addresses a and b is
+// OnesCount(a ^ b): the number of cube edges on a shortest path.
+func OnesCount(x int) int {
+	return bits.OnesCount(uint(x))
+}
+
+// Dims returns the indices of the set bits of mask in increasing
+// order. Collectives iterate over subcube dimension masks this way.
+func Dims(mask int) []int {
+	ds := make([]int, 0, bits.OnesCount(uint(mask)))
+	for m := mask; m != 0; m &= m - 1 {
+		ds = append(ds, bits.TrailingZeros(uint(m)))
+	}
+	return ds
+}
+
+// Spread distributes the low bits of x into the set-bit positions of
+// mask, lowest bit first. It is the inverse of Compact and maps a
+// subcube-relative coordinate to the full cube address contribution.
+func Spread(x, mask int) int {
+	r := 0
+	for m := mask; m != 0; m &= m - 1 {
+		bit := m & -m
+		if x&1 != 0 {
+			r |= bit
+		}
+		x >>= 1
+	}
+	return r
+}
+
+// Compact gathers the bits of x at the set-bit positions of mask into
+// the low bits of the result, lowest mask bit first. It maps a full
+// cube address to a subcube-relative coordinate.
+func Compact(x, mask int) int {
+	r, i := 0, 0
+	for m := mask; m != 0; m &= m - 1 {
+		bit := m & -m
+		if x&bit != 0 {
+			r |= 1 << i
+		}
+		i++
+	}
+	return r
+}
+
+// Path returns the ordered list of cube dimensions along the e-cube
+// (dimension-ordered) route from address a to address b, lowest
+// dimension first. Its length is the Hamming distance.
+func Path(a, b int) []int {
+	return Dims(a ^ b)
+}

@@ -1,0 +1,175 @@
+package gray
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for i := 0; i < 1<<14; i++ {
+		if got := Decode(Encode(i)); got != i {
+			t.Fatalf("Decode(Encode(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestEncodeAdjacency(t *testing.T) {
+	for i := 0; i < 1<<14; i++ {
+		d := Encode(i) ^ Encode(i+1)
+		if bits.OnesCount(uint(d)) != 1 {
+			t.Fatalf("gray(%d) and gray(%d) differ in %d bits", i, i+1, bits.OnesCount(uint(d)))
+		}
+	}
+}
+
+func TestEncodeIsPermutation(t *testing.T) {
+	const n = 1 << 12
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		g := Encode(i)
+		if g < 0 || g >= n {
+			t.Fatalf("Encode(%d) = %d out of range", i, g)
+		}
+		if seen[g] {
+			t.Fatalf("Encode not injective at %d", i)
+		}
+		seen[g] = true
+	}
+}
+
+func TestChangeBit(t *testing.T) {
+	for i := 0; i < 1<<12; i++ {
+		want := bits.TrailingZeros(uint(Encode(i) ^ Encode(i+1)))
+		if got := ChangeBit(i); got != want {
+			t.Fatalf("ChangeBit(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestEncodeDecodeQuick(t *testing.T) {
+	f := func(x uint16) bool { return Decode(Encode(int(x))) == int(x) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for d := 0; d < 30; d++ {
+		if got := Log2(1 << d); got != d {
+			t.Fatalf("Log2(1<<%d) = %d", d, got)
+		}
+	}
+	for _, bad := range []int{0, -4, 3, 6, 12, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Log2(%d) did not panic", bad)
+				}
+			}()
+			Log2(bad)
+		}()
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	cases := map[int]bool{
+		-8: false, -1: false, 0: false, 1: true, 2: true, 3: false,
+		4: true, 6: false, 8: true, 1 << 20: true, 1<<20 + 1: false,
+	}
+	for n, want := range cases {
+		if got := IsPow2(n); got != want {
+			t.Errorf("IsPow2(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestCeilPow2(t *testing.T) {
+	cases := map[int]int{
+		0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 9: 16, 16: 16, 17: 32, 1000: 1024,
+	}
+	for n, want := range cases {
+		if got := CeilPow2(n); got != want {
+			t.Errorf("CeilPow2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 1024: 10, 1025: 11}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDims(t *testing.T) {
+	got := Dims(0b101101)
+	want := []int{0, 2, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Dims = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Dims = %v, want %v", got, want)
+		}
+	}
+	if len(Dims(0)) != 0 {
+		t.Fatal("Dims(0) not empty")
+	}
+}
+
+func TestSpreadCompactRoundTrip(t *testing.T) {
+	f := func(x uint8, mask uint16) bool {
+		m := int(mask)
+		n := bits.OnesCount(uint(mask))
+		v := int(x) & ((1 << n) - 1)
+		if n > 8 {
+			v = int(x)
+		}
+		return Compact(Spread(v, m), m) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpreadStaysInMask(t *testing.T) {
+	f := func(x uint8, mask uint16) bool {
+		return Spread(int(x), int(mask))&^int(mask) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpreadCompactExamples(t *testing.T) {
+	// mask 0b1010: positions 1 and 3.
+	if got := Spread(0b01, 0b1010); got != 0b0010 {
+		t.Fatalf("Spread(01,1010) = %b", got)
+	}
+	if got := Spread(0b11, 0b1010); got != 0b1010 {
+		t.Fatalf("Spread(11,1010) = %b", got)
+	}
+	if got := Compact(0b1000, 0b1010); got != 0b10 {
+		t.Fatalf("Compact(1000,1010) = %b", got)
+	}
+}
+
+func TestPath(t *testing.T) {
+	p := Path(0b0110, 0b1100)
+	want := []int{1, 3}
+	if len(p) != len(want) || p[0] != want[0] || p[1] != want[1] {
+		t.Fatalf("Path = %v, want %v", p, want)
+	}
+	if len(Path(5, 5)) != 0 {
+		t.Fatal("Path(a,a) not empty")
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	if OnesCount(0b1011) != 3 {
+		t.Fatal("OnesCount")
+	}
+}

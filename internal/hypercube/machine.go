@@ -1,0 +1,459 @@
+// Package hypercube simulates a Boolean-cube (hypercube) distributed-
+// memory multiprocessor, the machine model of the SPAA 1989 paper.
+//
+// A Machine with dimension d has p = 2^d processors, one goroutine
+// each, connected by bidirectional links along the d cube dimensions:
+// processors a and a XOR 2^i are neighbors along dimension i. All
+// inter-processor data moves through these links as messages of 64-bit
+// words. Each processor carries a virtual clock driven by the cost
+// model in internal/costmodel: a send advances the sender's clock by
+// tau + n*t_c, a receive advances the receiver's clock to at least the
+// message's arrival time, and local arithmetic advances the clock by
+// n*t_f. The run time of an SPMD program is the maximum clock over all
+// processors when every goroutine has returned, which is how the
+// Connection Machine timings of the paper are reproduced as simulated
+// microseconds independent of the host.
+//
+// The port model follows the paper's implementation section: by
+// default a processor drives one port at a time, so sends on distinct
+// dimensions serialize. The all-port machine (every processor can use
+// all d links concurrently) is available through the cost model for
+// the A1 ablation; ExchangeAll charges the maximum rather than the sum
+// of the per-dimension costs under that model.
+package hypercube
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vmprim/internal/costmodel"
+	"vmprim/internal/gray"
+)
+
+// DefaultRecvTimeout bounds how long a processor waits for a message
+// before declaring the program deadlocked. Collective protocols in
+// this library complete in well under a second of host time; a stuck
+// Recv means a protocol bug, and failing fast beats hanging a test
+// run.
+const DefaultRecvTimeout = 30 * time.Second
+
+// message is one inter-processor transfer: a payload of words, a
+// protocol tag for error detection, and the virtual arrival time.
+type message struct {
+	words  []float64
+	tag    int
+	arrive costmodel.Time
+}
+
+// Machine is a simulated hypercube multiprocessor. Construct it with
+// New, then execute SPMD programs with Run. A Machine is reusable: Run
+// may be called any number of times, sequentially.
+type Machine struct {
+	dim    int
+	p      int
+	params costmodel.Params
+
+	// in[pid][d] carries messages addressed to pid along dimension d.
+	in [][]chan message
+
+	recvTimeout time.Duration
+
+	mu         sync.Mutex
+	elapsed    costmodel.Time
+	stats      Stats
+	clocks     []costmodel.Time
+	traceLimit int
+	trace      []TraceEvent
+}
+
+// Stats aggregates communication and arithmetic counters over one Run.
+type Stats struct {
+	// Messages is the total number of link messages sent.
+	Messages int64
+	// Words is the total number of 64-bit words transferred over links.
+	Words int64
+	// Flops is the total number of local floating-point operations.
+	Flops int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Messages += other.Messages
+	s.Words += other.Words
+	s.Flops += other.Flops
+}
+
+// New returns a machine of dimension dim (2^dim processors) governed
+// by the given cost parameters. It returns an error if dim is negative
+// or unreasonably large, or if the parameters are invalid.
+func New(dim int, params costmodel.Params) (*Machine, error) {
+	if dim < 0 || dim > 20 {
+		return nil, fmt.Errorf("hypercube: dimension %d out of range [0,20]", dim)
+	}
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	p := 1 << dim
+	m := &Machine{
+		dim:         dim,
+		p:           p,
+		params:      params,
+		in:          make([][]chan message, p),
+		recvTimeout: DefaultRecvTimeout,
+	}
+	for pid := 0; pid < p; pid++ {
+		chans := make([]chan message, dim)
+		for d := 0; d < dim; d++ {
+			// Buffered so that matched exchange phases (both sides
+			// send, then both receive) never block on the send.
+			chans[d] = make(chan message, 64)
+		}
+		m.in[pid] = chans
+	}
+	return m, nil
+}
+
+// MustNew is New for callers with static arguments; it panics on error.
+func MustNew(dim int, params costmodel.Params) *Machine {
+	m, err := New(dim, params)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Dim returns the cube dimension d.
+func (m *Machine) Dim() int { return m.dim }
+
+// P returns the number of processors, 2^d.
+func (m *Machine) P() int { return m.p }
+
+// Params returns the machine's cost parameters.
+func (m *Machine) Params() costmodel.Params { return m.params }
+
+// SetRecvTimeout overrides the deadlock-detection timeout. It must be
+// called between runs, not during one.
+func (m *Machine) SetRecvTimeout(d time.Duration) { m.recvTimeout = d }
+
+// Elapsed returns the simulated time of the most recent Run: the
+// maximum virtual clock over all processors.
+func (m *Machine) Elapsed() costmodel.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.elapsed
+}
+
+// LastStats returns the communication/arithmetic counters of the most
+// recent Run.
+func (m *Machine) LastStats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Clocks returns every processor's final virtual clock from the most
+// recent Run, indexed by processor address. The spread between the
+// minimum and maximum is the run's load imbalance.
+func (m *Machine) Clocks() []costmodel.Time {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]costmodel.Time, len(m.clocks))
+	copy(out, m.clocks)
+	return out
+}
+
+// procError carries a panic out of a processor goroutine.
+type procError struct {
+	pid int
+	val any
+}
+
+// Run executes body as an SPMD program: one invocation per processor,
+// concurrently, each receiving its own *Proc. Run returns the
+// simulated elapsed time (maximum clock over processors) and the first
+// error; a panic in any processor aborts the run and is reported as an
+// error with the processor id. Run drains all links afterwards so the
+// machine is clean for the next program.
+func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
+	procs := make([]*Proc, m.p)
+	abort := make(chan struct{})
+	errs := make(chan procError, m.p)
+	var wg sync.WaitGroup
+	var abortOnce sync.Once
+
+	for pid := 0; pid < m.p; pid++ {
+		procs[pid] = &Proc{m: m, id: pid, abort: abort}
+		wg.Add(1)
+		go func(pr *Proc) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs <- procError{pid: pr.id, val: r}
+					abortOnce.Do(func() { close(abort) })
+				}
+			}()
+			body(pr)
+		}(procs[pid])
+	}
+	wg.Wait()
+	close(errs)
+
+	var firstErr error
+	perrs := make([]procError, 0)
+	for pe := range errs {
+		perrs = append(perrs, pe)
+	}
+	sort.Slice(perrs, func(i, j int) bool { return perrs[i].pid < perrs[j].pid })
+	for _, pe := range perrs {
+		if _, aborted := pe.val.(abortedError); aborted {
+			continue // secondary casualty of the first panic
+		}
+		firstErr = fmt.Errorf("hypercube: processor %d: %v", pe.pid, pe.val)
+		break
+	}
+	if firstErr == nil && len(perrs) > 0 {
+		firstErr = fmt.Errorf("hypercube: processor %d aborted", perrs[0].pid)
+	}
+
+	var elapsed costmodel.Time
+	var st Stats
+	clocks := make([]costmodel.Time, len(procs))
+	for i, pr := range procs {
+		clocks[i] = pr.clock
+		if pr.clock > elapsed {
+			elapsed = pr.clock
+		}
+		st.Messages += pr.nMsgs
+		st.Words += pr.nWords
+		st.Flops += pr.nFlops
+	}
+	m.mu.Lock()
+	m.elapsed = elapsed
+	m.stats = st
+	m.clocks = clocks
+	m.mu.Unlock()
+	m.collectTrace(procs)
+
+	m.drain()
+	return elapsed, firstErr
+}
+
+// drain empties every link channel (messages left behind by an aborted
+// or buggy program).
+func (m *Machine) drain() {
+	for pid := range m.in {
+		for d := range m.in[pid] {
+			for {
+				select {
+				case <-m.in[pid][d]:
+				default:
+					goto next
+				}
+			}
+		next:
+		}
+	}
+}
+
+// abortedError is the panic value used when a processor is cancelled
+// because a sibling failed first.
+type abortedError struct{}
+
+func (abortedError) Error() string { return "aborted by sibling failure" }
+
+// Proc is one simulated processor's handle, valid only inside the body
+// passed to Run and only on that processor's goroutine.
+type Proc struct {
+	m     *Machine
+	id    int
+	clock costmodel.Time
+	abort chan struct{}
+
+	nMsgs  int64
+	nWords int64
+	nFlops int64
+	trace  []TraceEvent
+}
+
+// ID returns this processor's cube address in [0, P).
+func (p *Proc) ID() int { return p.id }
+
+// Dim returns the cube dimension.
+func (p *Proc) Dim() int { return p.m.dim }
+
+// P returns the number of processors.
+func (p *Proc) P() int { return p.m.p }
+
+// Params returns the machine cost parameters.
+func (p *Proc) Params() costmodel.Params { return p.m.params }
+
+// Clock returns this processor's current virtual time.
+func (p *Proc) Clock() costmodel.Time { return p.clock }
+
+// AdvanceTo moves the virtual clock forward to at least t. It never
+// moves the clock backwards.
+func (p *Proc) AdvanceTo(t costmodel.Time) {
+	if t > p.clock {
+		p.clock = t
+	}
+}
+
+// Neighbor returns the cube address of the neighbor along dimension d.
+func (p *Proc) Neighbor(d int) int {
+	p.checkDim(d)
+	return p.id ^ (1 << d)
+}
+
+// Compute charges flops local floating-point operations to the clock.
+func (p *Proc) Compute(flops int) {
+	if flops < 0 {
+		panic("hypercube: negative flop count")
+	}
+	p.nFlops += int64(flops)
+	p.clock += p.m.params.FlopCost(flops)
+}
+
+// Send transmits words to the neighbor along dimension d with the
+// given protocol tag. The payload is copied, so the caller may reuse
+// the slice. The sender's clock advances by the send cost and the
+// message arrives at that time.
+func (p *Proc) Send(d, tag int, words []float64) {
+	p.checkDim(d)
+	p.clock += p.m.params.SendCost(len(words))
+	p.post(d, tag, words, p.clock)
+}
+
+// post enqueues a copy of words on the neighbor's inbound link with
+// the given arrival time.
+func (p *Proc) post(d, tag int, words []float64, arrive costmodel.Time) {
+	cp := make([]float64, len(words))
+	copy(cp, words)
+	p.nMsgs++
+	p.nWords += int64(len(words))
+	dst := p.id ^ (1 << d)
+	if lim := p.m.traceLimit; lim > 0 && len(p.trace) < lim {
+		p.trace = append(p.trace, TraceEvent{
+			Time: arrive, Src: p.id, Dst: dst, Dim: d, Words: len(words), Tag: tag,
+		})
+	}
+	select {
+	case p.m.in[dst][d] <- message{words: cp, tag: tag, arrive: arrive}:
+	case <-p.abort:
+		panic(abortedError{})
+	}
+}
+
+// Recv receives the next message on dimension d, checks that its tag
+// matches wantTag (a mismatch is a protocol bug and panics), advances
+// the clock to the arrival time, and returns the payload. The returned
+// slice is owned by the caller.
+func (p *Proc) Recv(d, wantTag int) []float64 {
+	p.checkDim(d)
+	var msg message
+	select {
+	case msg = <-p.m.in[p.id][d]:
+	case <-p.abort:
+		panic(abortedError{})
+	default:
+		select {
+		case msg = <-p.m.in[p.id][d]:
+		case <-p.abort:
+			panic(abortedError{})
+		case <-time.After(p.m.recvTimeout):
+			panic(fmt.Sprintf("recv timeout on dim %d (tag %d): deadlock", d, wantTag))
+		}
+	}
+	if msg.tag != wantTag {
+		panic(fmt.Sprintf("tag mismatch on dim %d: got %d, want %d", d, msg.tag, wantTag))
+	}
+	p.AdvanceTo(msg.arrive)
+	return msg.words
+}
+
+// Exchange performs the paired send/receive with the neighbor along
+// dimension d that underlies every recursive-halving and -doubling
+// collective: both sides send words, both receive the partner's words.
+func (p *Proc) Exchange(d, tag int, words []float64) []float64 {
+	p.Send(d, tag, words)
+	return p.Recv(d, tag)
+}
+
+// ExchangeAll performs one exchange phase on several distinct
+// dimensions at once: payloads[i] goes to the neighbor along dims[i],
+// and the returned slice holds the corresponding received payloads.
+// Under the one-port model the sends serialize (costs add); under the
+// all-port model (Params.AllPorts) the phase is charged the maximum
+// single-dimension cost, which is ablation A1's machine.
+func (p *Proc) ExchangeAll(dims []int, tag int, payloads [][]float64) [][]float64 {
+	if len(dims) != len(payloads) {
+		panic("hypercube: ExchangeAll dims/payloads length mismatch")
+	}
+	seen := 0
+	for _, d := range dims {
+		p.checkDim(d)
+		bit := 1 << d
+		if seen&bit != 0 {
+			panic(fmt.Sprintf("hypercube: ExchangeAll duplicate dimension %d", d))
+		}
+		seen |= bit
+	}
+	start := p.clock
+	if p.m.params.AllPorts {
+		var maxCost costmodel.Time
+		for i, d := range dims {
+			c := p.m.params.SendCost(len(payloads[i]))
+			if c > maxCost {
+				maxCost = c
+			}
+			p.clock = start + c
+			p.post(d, tag, payloads[i], p.clock)
+		}
+		p.clock = start + maxCost
+	} else {
+		for i, d := range dims {
+			p.Send(d, tag, payloads[i])
+		}
+	}
+	out := make([][]float64, len(dims))
+	for i, d := range dims {
+		out[i] = p.Recv(d, tag)
+	}
+	return out
+}
+
+// Barrier synchronizes all processors in the subcube spanned by the
+// dimension mask (use FullMask for the whole machine) and equalizes
+// their virtual clocks to the maximum participant clock plus the
+// synchronization cost. It is implemented as a zero-payload dimension
+// exchange, which is also how a real cube synchronizes.
+func (p *Proc) Barrier(mask, tag int) {
+	for _, d := range gray.Dims(mask) {
+		p.Exchange(d, tag, nil)
+	}
+}
+
+// FullMask returns the dimension mask covering the whole cube.
+func (p *Proc) FullMask() int { return (1 << p.m.dim) - 1 }
+
+// RouteCharge charges the clock for forwarding n words one hop through
+// the general router. The router package uses it so that routed and
+// structured traffic share one clock.
+func (p *Proc) RouteCharge(n int) {
+	p.clock += p.m.params.RouteHopCost(n)
+}
+
+// RoutePhaseCharge charges the clock for one dimension-ordered routing
+// phase in which this processor forwards msgs messages totalling n
+// words: router start-up, per-word transfer, and per-message handling
+// overhead (the cost of not combining messages).
+func (p *Proc) RoutePhaseCharge(msgs, n int) {
+	p.clock += p.m.params.RoutePhaseCost(msgs, n)
+}
+
+func (p *Proc) checkDim(d int) {
+	if d < 0 || d >= p.m.dim {
+		panic(fmt.Sprintf("hypercube: dimension %d out of range [0,%d)", d, p.m.dim))
+	}
+}

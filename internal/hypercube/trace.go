@@ -1,0 +1,85 @@
+package hypercube
+
+import (
+	"fmt"
+	"sort"
+
+	"vmprim/internal/costmodel"
+)
+
+// Message tracing: when enabled, every link transfer is recorded with
+// its virtual send time, endpoints and size. Traces are the simulator's
+// debugging microscope — they show exactly which communication pattern
+// an algorithm generated, and their per-link volumes expose congestion.
+
+// TraceEvent records one link message.
+type TraceEvent struct {
+	// Time is the virtual time at which the message completed sending.
+	Time costmodel.Time
+	// Src and Dst are the endpoint processor addresses.
+	Src, Dst int
+	// Dim is the cube dimension of the link used.
+	Dim int
+	// Words is the payload length.
+	Words int
+	// Tag is the protocol tag.
+	Tag int
+}
+
+// String renders the event compactly.
+func (ev TraceEvent) String() string {
+	return fmt.Sprintf("t=%.1f %d->%d dim%d %dw tag%d", float64(ev.Time), ev.Src, ev.Dst, ev.Dim, ev.Words, ev.Tag)
+}
+
+// EnableTrace turns on message tracing for subsequent runs, keeping at
+// most limit events per processor (0 disables). Must be called between
+// runs.
+func (m *Machine) EnableTrace(limit int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.traceLimit = limit
+}
+
+// Trace returns the events of the most recent traced run, ordered by
+// virtual time (ties by source address). It returns nil if tracing was
+// off.
+func (m *Machine) Trace() []TraceEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]TraceEvent, len(m.trace))
+	copy(out, m.trace)
+	return out
+}
+
+// LinkVolumes returns, for the most recent traced run, the total words
+// carried by each directed link, keyed by [src][dim]. Congestion
+// analyses read hot links directly from this.
+func (m *Machine) LinkVolumes() map[int]map[int]int {
+	vols := make(map[int]map[int]int)
+	for _, ev := range m.Trace() {
+		if vols[ev.Src] == nil {
+			vols[ev.Src] = make(map[int]int)
+		}
+		vols[ev.Src][ev.Dim] += ev.Words
+	}
+	return vols
+}
+
+// collectTrace gathers and orders the per-processor event buffers.
+func (m *Machine) collectTrace(procs []*Proc) {
+	if m.traceLimit <= 0 {
+		m.trace = nil
+		return
+	}
+	var all []TraceEvent
+	for _, pr := range procs {
+		all = append(all, pr.trace...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Time != all[j].Time {
+			return all[i].Time < all[j].Time
+		}
+		return all[i].Src < all[j].Src
+	})
+	m.trace = all
+}

@@ -1,0 +1,387 @@
+// Package serial provides single-processor reference implementations
+// of the dense linear-algebra operations and the three application
+// algorithms of the SPAA 1989 paper. They serve two roles: ground
+// truth for the correctness tests of the distributed primitives and
+// applications, and the T_serial denominator in the processor-time
+// product (work-efficiency) experiments E2 and F2.
+package serial
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	R, C int
+	A    []float64 // len R*C, element (i,j) at A[i*C+j]
+}
+
+// NewMat returns a zero R x C matrix.
+func NewMat(r, c int) *Mat {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("serial: invalid shape %dx%d", r, c))
+	}
+	return &Mat{R: r, C: c, A: make([]float64, r*c)}
+}
+
+// FromRows builds a matrix from row slices (all equal length).
+func FromRows(rows [][]float64) *Mat {
+	r := len(rows)
+	if r == 0 {
+		return NewMat(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMat(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic("serial: ragged rows")
+		}
+		copy(m.A[i*c:], row)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.A[i*m.C+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.A[i*m.C+j] = v }
+
+// Clone returns a deep copy.
+func (m *Mat) Clone() *Mat {
+	c := NewMat(m.R, m.C)
+	copy(c.A, m.A)
+	return c
+}
+
+// Row returns a copy of row i.
+func (m *Mat) Row(i int) []float64 {
+	out := make([]float64, m.C)
+	copy(out, m.A[i*m.C:(i+1)*m.C])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Mat) Col(j int) []float64 {
+	out := make([]float64, m.R)
+	for i := 0; i < m.R; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// SetRow assigns row i from v.
+func (m *Mat) SetRow(i int, v []float64) {
+	if len(v) != m.C {
+		panic("serial: SetRow length mismatch")
+	}
+	copy(m.A[i*m.C:], v)
+}
+
+// SetCol assigns column j from v.
+func (m *Mat) SetCol(j int, v []float64) {
+	if len(v) != m.R {
+		panic("serial: SetCol length mismatch")
+	}
+	for i := 0; i < m.R; i++ {
+		m.Set(i, j, v[i])
+	}
+}
+
+// VecMatMul returns y = x*A (x length R, y length C): the paper's
+// vector-matrix multiply.
+func VecMatMul(x []float64, a *Mat) []float64 {
+	if len(x) != a.R {
+		panic(fmt.Sprintf("serial: VecMatMul length %d vs %d rows", len(x), a.R))
+	}
+	y := make([]float64, a.C)
+	for i := 0; i < a.R; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := a.A[i*a.C : (i+1)*a.C]
+		for j, v := range row {
+			y[j] += xi * v
+		}
+	}
+	return y
+}
+
+// MatVecMul returns y = A*x (x length C, y length R).
+func MatVecMul(a *Mat, x []float64) []float64 {
+	if len(x) != a.C {
+		panic(fmt.Sprintf("serial: MatVecMul length %d vs %d cols", len(x), a.C))
+	}
+	y := make([]float64, a.R)
+	for i := 0; i < a.R; i++ {
+		row := a.A[i*a.C : (i+1)*a.C]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// MatMul returns the product A*B.
+func MatMul(a, b *Mat) *Mat {
+	if a.C != b.R {
+		panic("serial: MatMul shape mismatch")
+	}
+	out := NewMat(a.R, b.C)
+	for i := 0; i < a.R; i++ {
+		for k := 0; k < a.C; k++ {
+			v := a.At(i, k)
+			if v == 0 {
+				continue
+			}
+			brow := b.A[k*b.C : (k+1)*b.C]
+			orow := out.A[i*out.C : (i+1)*out.C]
+			for j := range brow {
+				orow[j] += v * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns A^T.
+func (m *Mat) Transpose() *Mat {
+	t := NewMat(m.C, m.R)
+	for i := 0; i < m.R; i++ {
+		for j := 0; j < m.C; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns the maximum-magnitude entry of v.
+func NormInf(v []float64) float64 {
+	m := 0.0
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Residual returns A*x - b.
+func Residual(a *Mat, x, b []float64) []float64 {
+	ax := MatVecMul(a, x)
+	r := make([]float64, len(b))
+	for i := range b {
+		r[i] = ax[i] - b[i]
+	}
+	return r
+}
+
+// GaussSolve solves A*x = b by Gaussian elimination with partial
+// pivoting followed by back substitution. A and b are not modified.
+// It returns an error if the matrix is numerically singular.
+func GaussSolve(a *Mat, b []float64) ([]float64, error) {
+	if a.R != a.C {
+		return nil, fmt.Errorf("serial: GaussSolve needs a square matrix, got %dx%d", a.R, a.C)
+	}
+	if len(b) != a.R {
+		return nil, fmt.Errorf("serial: GaussSolve rhs length %d, want %d", len(b), a.R)
+	}
+	n := a.R
+	// Work on the augmented matrix [A | b].
+	w := NewMat(n, n+1)
+	for i := 0; i < n; i++ {
+		copy(w.A[i*(n+1):], a.A[i*n:(i+1)*n])
+		w.Set(i, n, b[i])
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot: max |w[i][k]| over i >= k, smallest i on ties.
+		piv, pivAbs := k, math.Abs(w.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if ab := math.Abs(w.At(i, k)); ab > pivAbs {
+				piv, pivAbs = i, ab
+			}
+		}
+		if pivAbs == 0 {
+			return nil, fmt.Errorf("serial: singular matrix at step %d", k)
+		}
+		if piv != k {
+			for j := 0; j <= n; j++ {
+				w.A[k*(n+1)+j], w.A[piv*(n+1)+j] = w.A[piv*(n+1)+j], w.A[k*(n+1)+j]
+			}
+		}
+		// Eliminate below the pivot with a rank-1 update.
+		inv := 1 / w.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := w.At(i, k) * inv
+			if f == 0 {
+				continue
+			}
+			for j := k; j <= n; j++ {
+				w.Set(i, j, w.At(i, j)-f*w.At(k, j))
+			}
+		}
+	}
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := w.At(i, n)
+		for j := i + 1; j < n; j++ {
+			s -= w.At(i, j) * x[j]
+		}
+		x[i] = s / w.At(i, i)
+	}
+	return x, nil
+}
+
+// ForwardEliminate performs in-place Gaussian elimination with partial
+// pivoting on the augmented matrix w (R rows, C >= R columns: extra
+// columns are right-hand sides), reducing it to upper-triangular form.
+// It returns the row permutation applied (perm[k] = original index of
+// the row now in position k) so that distributed implementations can
+// be compared step by step. It is the serial twin of the parallel
+// elimination in internal/apps.
+func ForwardEliminate(w *Mat) ([]int, error) {
+	n := w.R
+	if w.C < n {
+		return nil, fmt.Errorf("serial: ForwardEliminate needs C >= R")
+	}
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		piv, pivAbs := k, math.Abs(w.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if ab := math.Abs(w.At(i, k)); ab > pivAbs {
+				piv, pivAbs = i, ab
+			}
+		}
+		if pivAbs == 0 {
+			return nil, fmt.Errorf("serial: singular matrix at step %d", k)
+		}
+		if piv != k {
+			for j := 0; j < w.C; j++ {
+				w.A[k*w.C+j], w.A[piv*w.C+j] = w.A[piv*w.C+j], w.A[k*w.C+j]
+			}
+			perm[k], perm[piv] = perm[piv], perm[k]
+		}
+		inv := 1 / w.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := w.At(i, k) * inv
+			if f == 0 {
+				continue
+			}
+			for j := k; j < w.C; j++ {
+				w.Set(i, j, w.At(i, j)-f*w.At(k, j))
+			}
+		}
+	}
+	return perm, nil
+}
+
+// BackSubstitute solves the upper-triangular system left in w by
+// ForwardEliminate, for the single right-hand side in column n.
+func BackSubstitute(w *Mat) []float64 {
+	n := w.R
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := w.At(i, n)
+		for j := i + 1; j < n; j++ {
+			s -= w.At(i, j) * x[j]
+		}
+		x[i] = s / w.At(i, i)
+	}
+	return x
+}
+
+// Determinant computes det(A) by Gaussian elimination with partial
+// pivoting: the product of the pivots, negated once per row swap.
+func Determinant(a *Mat) (float64, error) {
+	if a.R != a.C {
+		return 0, fmt.Errorf("serial: Determinant needs a square matrix, got %dx%d", a.R, a.C)
+	}
+	n := a.R
+	w := a.Clone()
+	det := 1.0
+	for k := 0; k < n; k++ {
+		piv, pivAbs := k, math.Abs(w.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if ab := math.Abs(w.At(i, k)); ab > pivAbs {
+				piv, pivAbs = i, ab
+			}
+		}
+		if pivAbs == 0 {
+			return 0, nil // singular: determinant is exactly zero
+		}
+		if piv != k {
+			for j := 0; j < n; j++ {
+				w.A[k*n+j], w.A[piv*n+j] = w.A[piv*n+j], w.A[k*n+j]
+			}
+			det = -det
+		}
+		pivot := w.At(k, k)
+		det *= pivot
+		inv := 1 / pivot
+		for i := k + 1; i < n; i++ {
+			f := w.At(i, k) * inv
+			if f == 0 {
+				continue
+			}
+			for j := k; j < n; j++ {
+				w.Set(i, j, w.At(i, j)-f*w.At(k, j))
+			}
+		}
+	}
+	return det, nil
+}
+
+// SolveTridiag solves the tridiagonal system
+//
+//	a[i]*x[i-1] + b[i]*x[i] + c[i]*x[i+1] = d[i]
+//
+// (a[0] and c[n-1] ignored) by the Thomas algorithm. It returns an
+// error if a pivot vanishes (the algorithm does not pivot; diagonally
+// dominant systems are safe). Inputs are not modified.
+func SolveTridiag(a, b, c, d []float64) ([]float64, error) {
+	n := len(b)
+	if len(a) != n || len(c) != n || len(d) != n {
+		return nil, fmt.Errorf("serial: SolveTridiag band lengths %d/%d/%d/%d", len(a), len(b), len(c), len(d))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	cp := make([]float64, n)
+	dp := make([]float64, n)
+	if b[0] == 0 {
+		return nil, fmt.Errorf("serial: zero pivot at row 0")
+	}
+	cp[0] = c[0] / b[0]
+	dp[0] = d[0] / b[0]
+	for i := 1; i < n; i++ {
+		den := b[i] - a[i]*cp[i-1]
+		if den == 0 {
+			return nil, fmt.Errorf("serial: zero pivot at row %d", i)
+		}
+		cp[i] = c[i] / den
+		dp[i] = (d[i] - a[i]*dp[i-1]) / den
+	}
+	x := make([]float64, n)
+	x[n-1] = dp[n-1]
+	for i := n - 2; i >= 0; i-- {
+		x[i] = dp[i] - cp[i]*x[i+1]
+	}
+	return x, nil
+}

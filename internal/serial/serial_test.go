@@ -1,0 +1,324 @@
+package serial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMat(rng *rand.Rand, r, c int) *Mat {
+	m := NewMat(r, c)
+	for i := range m.A {
+		m.A[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestMatBasics(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(1, 2, 5)
+	if m.At(1, 2) != 5 || m.At(0, 0) != 0 {
+		t.Fatal("At/Set")
+	}
+	c := m.Clone()
+	c.Set(1, 2, 9)
+	if m.At(1, 2) != 5 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.R != 3 || m.C != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("FromRows: %+v", m)
+	}
+	if e := FromRows(nil); e.R != 0 || e.C != 0 {
+		t.Fatal("FromRows(nil)")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged rows accepted")
+		}
+	}()
+	FromRows([][]float64{{1}, {1, 2}})
+}
+
+func TestRowColAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	r := m.Row(1)
+	if r[0] != 4 || r[2] != 6 {
+		t.Fatalf("Row: %v", r)
+	}
+	r[0] = -1
+	if m.At(1, 0) != 4 {
+		t.Fatal("Row aliases")
+	}
+	c := m.Col(2)
+	if c[0] != 3 || c[1] != 6 {
+		t.Fatalf("Col: %v", c)
+	}
+	m.SetRow(0, []float64{7, 8, 9})
+	if m.At(0, 1) != 8 {
+		t.Fatal("SetRow")
+	}
+	m.SetCol(0, []float64{10, 11})
+	if m.At(1, 0) != 11 {
+		t.Fatal("SetCol")
+	}
+}
+
+func TestVecMatMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y := VecMatMul([]float64{1, 1, 1}, a)
+	if y[0] != 9 || y[1] != 12 {
+		t.Fatalf("VecMatMul: %v", y)
+	}
+}
+
+func TestMatVecMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	y := MatVecMul(a, []float64{1, -1})
+	if y[0] != -1 || y[1] != -1 || y[2] != -1 {
+		t.Fatalf("MatVecMul: %v", y)
+	}
+}
+
+func TestVecMatMulIsTransposeOfMatVecMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMat(rng, 7, 5)
+	x := randVec(rng, 7)
+	y1 := VecMatMul(x, a)
+	y2 := MatVecMul(a.Transpose(), x)
+	for i := range y1 {
+		if math.Abs(y1[i]-y2[i]) > 1e-12 {
+			t.Fatalf("mismatch at %d: %v vs %v", i, y1[i], y2[i])
+		}
+	}
+}
+
+func TestMatMulAssociatesWithVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMat(rng, 4, 6)
+	b := randMat(rng, 6, 3)
+	x := randVec(rng, 4)
+	// (x*A)*B == x*(A*B)
+	left := VecMatMul(VecMatMul(x, a), b)
+	right := VecMatMul(x, MatMul(a, b))
+	for i := range left {
+		if math.Abs(left[i]-right[i]) > 1e-10 {
+			t.Fatalf("associativity at %d: %v vs %v", i, left[i], right[i])
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMat(rng, 5, 8)
+	tt := a.Transpose().Transpose()
+	for i := range a.A {
+		if a.A[i] != tt.A[i] {
+			t.Fatal("transpose not involutive")
+		}
+	}
+}
+
+func TestNorms(t *testing.T) {
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("Norm2")
+	}
+	if NormInf([]float64{-7, 3}) != 7 {
+		t.Fatal("NormInf")
+	}
+	if Norm2(nil) != 0 || NormInf(nil) != 0 {
+		t.Fatal("empty norms")
+	}
+}
+
+func TestGaussSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := GaussSolve(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestGaussSolveNeedsPivoting(t *testing.T) {
+	// Zero on the initial diagonal: fails without partial pivoting.
+	a := FromRows([][]float64{{0, 1}, {1, 0}})
+	x, err := GaussSolve(a, []float64{2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestGaussSolveSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := GaussSolve(a, []float64{1, 2}); err == nil {
+		t.Fatal("singular matrix accepted")
+	}
+}
+
+func TestGaussSolveShapeErrors(t *testing.T) {
+	if _, err := GaussSolve(NewMat(2, 3), []float64{1, 2}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := GaussSolve(NewMat(2, 2), []float64{1}); err == nil {
+		t.Fatal("bad rhs accepted")
+	}
+}
+
+func TestGaussSolveRandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(40)
+		a := randMat(rng, n, n)
+		// Diagonal boost keeps condition numbers reasonable.
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := randVec(rng, n)
+		x, err := GaussSolve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r := Norm2(Residual(a, x, b)); r > 1e-8 {
+			t.Fatalf("trial %d: residual %v", trial, r)
+		}
+	}
+}
+
+func TestGaussSolveDoesNotModifyInputs(t *testing.T) {
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	b := []float64{5, 10}
+	ac := a.Clone()
+	if _, err := GaussSolve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.A {
+		if a.A[i] != ac.A[i] {
+			t.Fatal("GaussSolve modified A")
+		}
+	}
+	if b[0] != 5 || b[1] != 10 {
+		t.Fatal("GaussSolve modified b")
+	}
+}
+
+func TestForwardEliminateMatchesGaussSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(20)
+		a := randMat(rng, n, n)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := randVec(rng, n)
+		w := NewMat(n, n+1)
+		for i := 0; i < n; i++ {
+			copy(w.A[i*(n+1):], a.A[i*n:(i+1)*n])
+			w.Set(i, n, b[i])
+		}
+		if _, err := ForwardEliminate(w); err != nil {
+			t.Fatal(err)
+		}
+		// Upper triangular below the diagonal.
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(w.At(i, j)) > 1e-9 {
+					t.Fatalf("not eliminated at (%d,%d): %v", i, j, w.At(i, j))
+				}
+			}
+		}
+		x := BackSubstitute(w)
+		want, err := GaussSolve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if math.Abs(x[i]-want[i]) > 1e-8 {
+				t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestResidualQuick(t *testing.T) {
+	// Property: Residual(A, x, A*x) == 0.
+	rng := rand.New(rand.NewSource(8))
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)%10 + 1
+		a := randMat(rng, n, n)
+		x := randVec(rng, n)
+		return Norm2(Residual(a, x, MatVecMul(a, x))) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminantKnown(t *testing.T) {
+	if d, err := Determinant(FromRows([][]float64{{1, 2}, {3, 4}})); err != nil || math.Abs(d+2) > 1e-12 {
+		t.Fatalf("det = %v (%v), want -2", d, err)
+	}
+	if d, err := Determinant(FromRows([][]float64{{2}})); err != nil || d != 2 {
+		t.Fatalf("det 1x1 = %v (%v)", d, err)
+	}
+	if d, err := Determinant(FromRows([][]float64{{1, 2}, {2, 4}})); err != nil || d != 0 {
+		t.Fatalf("singular det = %v (%v), want 0", d, err)
+	}
+	if _, err := Determinant(NewMat(2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestDeterminantMultiplicative(t *testing.T) {
+	// det(AB) = det(A) det(B).
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(6)
+		a := randMat(rng, n, n)
+		b := randMat(rng, n, n)
+		da, err := Determinant(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := Determinant(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dab, err := Determinant(MatMul(a, b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(dab-da*db) > 1e-8*math.Max(1, math.Abs(da*db)) {
+			t.Fatalf("trial %d: det(AB)=%v, det(A)det(B)=%v", trial, dab, da*db)
+		}
+	}
+}
+
+func TestDeterminantPermutationParity(t *testing.T) {
+	// A permutation matrix's determinant is the permutation's sign.
+	p := FromRows([][]float64{{0, 1, 0}, {0, 0, 1}, {1, 0, 0}}) // 3-cycle: even
+	if d, err := Determinant(p); err != nil || math.Abs(d-1) > 1e-12 {
+		t.Fatalf("3-cycle det = %v (%v), want 1", d, err)
+	}
+	s := FromRows([][]float64{{0, 1}, {1, 0}}) // transposition: odd
+	if d, err := Determinant(s); err != nil || math.Abs(d+1) > 1e-12 {
+		t.Fatalf("swap det = %v (%v), want -1", d, err)
+	}
+}

@@ -1,0 +1,288 @@
+package serial
+
+import (
+	"fmt"
+	"math"
+)
+
+// LPStatus reports the outcome of a simplex solve.
+type LPStatus int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal LPStatus = iota
+	// Unbounded means the objective is unbounded above.
+	Unbounded
+	// IterLimit means the iteration cap was hit before optimality.
+	IterLimit
+)
+
+// String returns the status name.
+func (s LPStatus) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	default:
+		return fmt.Sprintf("LPStatus(%d)", int(s))
+	}
+}
+
+// LPResult is the outcome of a simplex solve.
+type LPResult struct {
+	Status LPStatus
+	// X is the primal solution over the original (non-slack) variables.
+	X []float64
+	// Z is the objective value c^T X.
+	Z float64
+	// Iterations is the number of pivots performed.
+	Iterations int
+}
+
+// The pivot rule shared by the serial and distributed simplex:
+// entering column = most negative objective-row coefficient (Dantzig),
+// ties to the smallest index; leaving row = minimum ratio, ties to the
+// smallest index. Identical rules make the two implementations follow
+// identical pivot sequences, so tests can compare them exactly.
+const pivotEps = 1e-9
+
+// NewTableau builds the initial dense simplex tableau for
+//
+//	maximize c^T x  subject to  A x <= b,  x >= 0,  b >= 0
+//
+// with slack variables forming the initial basis. The tableau has
+// m+1 rows and n+m+1 columns: constraint rows [A | I | b] and the
+// objective row [-c | 0 | 0]. b must be nonnegative (the generator in
+// internal/bench only produces such LPs; two-phase initialization is
+// out of scope for the reproduction, as it was for the paper's
+// timing experiments).
+func NewTableau(c []float64, a *Mat, b []float64) (*Mat, error) {
+	m, n := a.R, a.C
+	if len(c) != n {
+		return nil, fmt.Errorf("serial: objective length %d, want %d", len(c), n)
+	}
+	if len(b) != m {
+		return nil, fmt.Errorf("serial: rhs length %d, want %d", len(b), m)
+	}
+	for i, v := range b {
+		if v < 0 {
+			return nil, fmt.Errorf("serial: rhs[%d] = %v < 0 (needs two-phase)", i, v)
+		}
+	}
+	t := NewMat(m+1, n+m+1)
+	for i := 0; i < m; i++ {
+		copy(t.A[i*t.C:], a.A[i*n:(i+1)*n])
+		t.Set(i, n+i, 1)
+		t.Set(i, n+m, b[i])
+	}
+	for j := 0; j < n; j++ {
+		t.Set(m, j, -c[j])
+	}
+	return t, nil
+}
+
+// PivotColumn returns the entering column under the shared rule, or -1
+// if the tableau is optimal. m is the objective row index (t.R-1).
+func PivotColumn(t *Mat) int {
+	m := t.R - 1
+	best, bestV := -1, -pivotEps
+	for j := 0; j < t.C-1; j++ {
+		if v := t.At(m, j); v < bestV {
+			best, bestV = j, v
+		}
+	}
+	return best
+}
+
+// PivotRow returns the leaving row for entering column jc under the
+// shared minimum-ratio rule, or -1 if the LP is unbounded.
+func PivotRow(t *Mat, jc int) int {
+	m := t.R - 1
+	rhs := t.C - 1
+	best, bestRatio := -1, math.Inf(1)
+	for i := 0; i < m; i++ {
+		aij := t.At(i, jc)
+		if aij <= pivotEps {
+			continue
+		}
+		// Exact comparison, ascending scan: ties keep the smallest row
+		// index, the same rule the distributed loc-reduction applies,
+		// so serial and parallel runs pivot identically.
+		ratio := t.At(i, rhs) / aij
+		if ratio < bestRatio {
+			best, bestRatio = i, ratio
+		}
+	}
+	return best
+}
+
+// Pivot performs the elimination step on pivot element (ir, jc):
+// normalize the pivot row, then subtract multiples from all other
+// rows. The arithmetic (multiply by the reciprocal, then a - f*p per
+// element) is written to match the distributed pivot operation by
+// operation, so the two implementations stay bitwise in lockstep.
+func Pivot(t *Mat, ir, jc int) {
+	inv := 1 / t.At(ir, jc)
+	prow := t.A[ir*t.C : (ir+1)*t.C]
+	for j := range prow {
+		prow[j] *= inv
+	}
+	for i := 0; i < t.R; i++ {
+		if i == ir {
+			continue
+		}
+		f := t.At(i, jc)
+		if f == 0 {
+			continue
+		}
+		row := t.A[i*t.C : (i+1)*t.C]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+	}
+}
+
+// SolveLP solves maximize c^T x subject to A x <= b, x >= 0 (b >= 0)
+// with the dense tableau simplex method, capped at maxIter pivots.
+func SolveLP(c []float64, a *Mat, b []float64, maxIter int) (LPResult, error) {
+	t, err := NewTableau(c, a, b)
+	if err != nil {
+		return LPResult{}, err
+	}
+	m, n := a.R, a.C
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i // slacks
+	}
+	res := LPResult{}
+	for iter := 0; ; iter++ {
+		jc := PivotColumn(t)
+		if jc < 0 {
+			res.Status = Optimal
+			break
+		}
+		if iter >= maxIter {
+			res.Status = IterLimit
+			break
+		}
+		ir := PivotRow(t, jc)
+		if ir < 0 {
+			res.Status = Unbounded
+			res.Iterations = iter
+			return res, nil
+		}
+		Pivot(t, ir, jc)
+		basis[ir] = jc
+		res.Iterations = iter + 1
+	}
+	res.X = make([]float64, n)
+	rhs := t.C - 1
+	for i, bj := range basis {
+		if bj < n {
+			res.X[bj] = t.At(i, rhs)
+		}
+	}
+	res.Z = t.At(m, rhs)
+	return res, nil
+}
+
+// Bland's anti-cycling rule: entering variable = the smallest-index
+// column with a negative reduced cost; leaving row = minimum ratio,
+// ties broken by the smallest basis-variable index. Bland's rule
+// guarantees termination on degenerate problems where the Dantzig rule
+// can cycle (Beale's classic example does; the tests demonstrate it).
+
+// PivotColumnBland returns the smallest-index improving column, or -1
+// at optimality.
+func PivotColumnBland(t *Mat) int {
+	m := t.R - 1
+	for j := 0; j < t.C-1; j++ {
+		if t.At(m, j) < -pivotEps {
+			return j
+		}
+	}
+	return -1
+}
+
+// PivotRowBland returns the leaving row for entering column jc under
+// the minimum-ratio rule with ties broken by smallest basis-variable
+// index, or -1 if unbounded. Two stages — exact minimum ratio first,
+// then the smallest basis index within an epsilon window of it — so
+// the distributed implementation can follow the identical sequence
+// with two loc-reductions.
+func PivotRowBland(t *Mat, jc int, basis []int) int {
+	m := t.R - 1
+	rhs := t.C - 1
+	minRatio := math.Inf(1)
+	for i := 0; i < m; i++ {
+		aij := t.At(i, jc)
+		if aij <= pivotEps {
+			continue
+		}
+		if ratio := t.At(i, rhs) / aij; ratio < minRatio {
+			minRatio = ratio
+		}
+	}
+	if math.IsInf(minRatio, 1) {
+		return -1
+	}
+	best := -1
+	for i := 0; i < m; i++ {
+		aij := t.At(i, jc)
+		if aij <= pivotEps {
+			continue
+		}
+		if ratio := t.At(i, rhs) / aij; ratio <= minRatio+pivotEps {
+			if best < 0 || basis[i] < basis[best] {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
+// SolveLPBland is SolveLP under Bland's rule.
+func SolveLPBland(c []float64, a *Mat, b []float64, maxIter int) (LPResult, error) {
+	t, err := NewTableau(c, a, b)
+	if err != nil {
+		return LPResult{}, err
+	}
+	m, n := a.R, a.C
+	basis := make([]int, m)
+	for i := range basis {
+		basis[i] = n + i
+	}
+	res := LPResult{}
+	for iter := 0; ; iter++ {
+		jc := PivotColumnBland(t)
+		if jc < 0 {
+			res.Status = Optimal
+			break
+		}
+		if iter >= maxIter {
+			res.Status = IterLimit
+			break
+		}
+		ir := PivotRowBland(t, jc, basis)
+		if ir < 0 {
+			res.Status = Unbounded
+			res.Iterations = iter
+			return res, nil
+		}
+		Pivot(t, ir, jc)
+		basis[ir] = jc
+		res.Iterations = iter + 1
+	}
+	res.X = make([]float64, n)
+	rhs := t.C - 1
+	for i, bj := range basis {
+		if bj < n {
+			res.X[bj] = t.At(i, rhs)
+		}
+	}
+	res.Z = t.At(m, rhs)
+	return res, nil
+}

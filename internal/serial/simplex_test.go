@@ -1,0 +1,291 @@
+package serial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestSimplexTextbook(t *testing.T) {
+	// maximize 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18.
+	// Optimum: x=2, y=6, z=36 (classic Dantzig example).
+	a := FromRows([][]float64{{1, 0}, {0, 2}, {3, 2}})
+	res, err := SolveLP([]float64{3, 5}, a, []float64{4, 12, 18}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status %v", res.Status)
+	}
+	if math.Abs(res.Z-36) > 1e-9 || math.Abs(res.X[0]-2) > 1e-9 || math.Abs(res.X[1]-6) > 1e-9 {
+		t.Fatalf("z=%v x=%v", res.Z, res.X)
+	}
+}
+
+func TestSimplexProductionPlanning(t *testing.T) {
+	// maximize 5x + 4y s.t. 6x + 4y <= 24, x + 2y <= 6.
+	// Optimum: x=3, y=1.5, z=21.
+	a := FromRows([][]float64{{6, 4}, {1, 2}})
+	res, err := SolveLP([]float64{5, 4}, a, []float64{24, 6}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Z-21) > 1e-9 {
+		t.Fatalf("status %v z=%v x=%v", res.Status, res.Z, res.X)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// maximize x with only -x <= 1: no upper bound on x.
+	a := FromRows([][]float64{{-1}})
+	res, err := SolveLP([]float64{1}, a, []float64{1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", res.Status)
+	}
+}
+
+func TestSimplexAlreadyOptimal(t *testing.T) {
+	// maximize -x - y: origin is optimal, zero iterations.
+	a := FromRows([][]float64{{1, 1}})
+	res, err := SolveLP([]float64{-1, -1}, a, []float64{5}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || res.Iterations != 0 || res.Z != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSimplexIterLimit(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 2}, {3, 2}})
+	res, err := SolveLP([]float64{3, 5}, a, []float64{4, 12, 18}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != IterLimit {
+		t.Fatalf("status %v, want iteration limit", res.Status)
+	}
+}
+
+func TestNewTableauValidation(t *testing.T) {
+	a := NewMat(2, 2)
+	if _, err := NewTableau([]float64{1}, a, []float64{1, 1}); err == nil {
+		t.Fatal("bad c accepted")
+	}
+	if _, err := NewTableau([]float64{1, 1}, a, []float64{1}); err == nil {
+		t.Fatal("bad b accepted")
+	}
+	if _, err := NewTableau([]float64{1, 1}, a, []float64{1, -1}); err == nil {
+		t.Fatal("negative rhs accepted")
+	}
+}
+
+func TestSimplexSolutionsAreFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		m := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		a := NewMat(m, n)
+		for i := range a.A {
+			a.A[i] = rng.Float64()*4 - 1 // mostly positive coefficients
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.Float64() * 10
+		}
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.Float64()*2 - 0.5
+		}
+		res, err := SolveLP(c, a, b, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			continue // unbounded instances are fine, nothing to check
+		}
+		// Feasibility: A x <= b + eps, x >= -eps.
+		ax := MatVecMul(a, res.X)
+		for i := range ax {
+			if ax[i] > b[i]+1e-7 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, i, ax[i], b[i])
+			}
+		}
+		z := 0.0
+		for j := range c {
+			if res.X[j] < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v < 0", trial, j, res.X[j])
+			}
+			z += c[j] * res.X[j]
+		}
+		if math.Abs(z-res.Z) > 1e-6 {
+			t.Fatalf("trial %d: reported z=%v but c.x=%v", trial, res.Z, z)
+		}
+	}
+}
+
+func TestSimplexOptimalityAgainstVertexEnumeration(t *testing.T) {
+	// For tiny LPs, check against brute-force enumeration of basic
+	// feasible solutions (all vertex candidates of the polytope).
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		// 2 variables, 3 constraints: vertices are intersections of
+		// constraint/axis pairs.
+		a := NewMat(3, 2)
+		for i := range a.A {
+			a.A[i] = rng.Float64()*3 + 0.1 // positive: bounded feasible region
+		}
+		b := []float64{rng.Float64()*5 + 1, rng.Float64()*5 + 1, rng.Float64()*5 + 1}
+		c := []float64{rng.Float64()*2 + 0.1, rng.Float64()*2 + 0.1}
+		res, err := SolveLP(c, a, b, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("trial %d: status %v (bounded LP)", trial, res.Status)
+		}
+		best := bruteForce2D(c, a, b)
+		if math.Abs(res.Z-best) > 1e-6 {
+			t.Fatalf("trial %d: simplex z=%v, brute force %v", trial, res.Z, best)
+		}
+	}
+}
+
+// bruteForce2D maximizes c.x over {x >= 0, Ax <= b} for 2-variable LPs
+// by enumerating all pairwise intersections of the constraint lines
+// and axes and keeping the best feasible point.
+func bruteForce2D(c []float64, a *Mat, b []float64) float64 {
+	// Build line list: each constraint row and the two axes.
+	type line struct{ p, q, r float64 } // p*x + q*y = r
+	var lines []line
+	for i := 0; i < a.R; i++ {
+		lines = append(lines, line{a.At(i, 0), a.At(i, 1), b[i]})
+	}
+	lines = append(lines, line{1, 0, 0}, line{0, 1, 0})
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for i := 0; i < a.R; i++ {
+			if a.At(i, 0)*x+a.At(i, 1)*y > b[i]+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.Inf(-1)
+	consider := func(x, y float64) {
+		if feasible(x, y) {
+			if z := c[0]*x + c[1]*y; z > best {
+				best = z
+			}
+		}
+	}
+	consider(0, 0)
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			l1, l2 := lines[i], lines[j]
+			det := l1.p*l2.q - l2.p*l1.q
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (l1.r*l2.q - l2.r*l1.q) / det
+			y := (l1.p*l2.r - l2.p*l1.r) / det
+			consider(x, y)
+		}
+	}
+	return best
+}
+
+func TestLPStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Unbounded.String() != "unbounded" || IterLimit.String() != "iteration limit" {
+		t.Fatal("status strings")
+	}
+	if LPStatus(9).String() == "" {
+		t.Fatal("unknown status string empty")
+	}
+}
+
+func TestPivotColumnRowHelpers(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 2}, {3, 2}})
+	tab, err := NewTableau([]float64{3, 5}, a, []float64{4, 12, 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc := PivotColumn(tab)
+	if jc != 1 { // -5 is the most negative objective coefficient
+		t.Fatalf("PivotColumn = %d, want 1", jc)
+	}
+	ir := PivotRow(tab, jc)
+	if ir != 1 { // ratios: inf, 12/2=6, 18/2=9 -> row 1
+		t.Fatalf("PivotRow = %d, want 1", ir)
+	}
+	Pivot(tab, ir, jc)
+	if math.Abs(tab.At(1, 1)-1) > 1e-12 {
+		t.Fatal("pivot row not normalized")
+	}
+	for i := 0; i < tab.R; i++ {
+		if i != ir && math.Abs(tab.At(i, jc)) > 1e-12 {
+			t.Fatalf("column %d not cleared at row %d", jc, i)
+		}
+	}
+}
+
+func TestSolveLPBlandTextbook(t *testing.T) {
+	a := FromRows([][]float64{{1, 0}, {0, 2}, {3, 2}})
+	res, err := SolveLPBland([]float64{3, 5}, a, []float64{4, 12, 18}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Z-36) > 1e-9 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestSolveLPBlandUnbounded(t *testing.T) {
+	a := FromRows([][]float64{{-1}})
+	res, err := SolveLPBland([]float64{1}, a, []float64{1}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Unbounded {
+		t.Fatalf("status %v", res.Status)
+	}
+}
+
+func TestBlandMatchesDantzigObjectiveOnRandomLPs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + rng.Intn(7)
+		n := 1 + rng.Intn(7)
+		a := NewMat(m, n)
+		for i := range a.A {
+			a.A[i] = rng.Float64()*3 + 0.1
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.Float64()*8 + 1
+		}
+		c := make([]float64, n)
+		for i := range c {
+			c[i] = rng.Float64()*2 + 0.1
+		}
+		d, err := SolveLP(c, a, b, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl, err := SolveLPBland(c, a, b, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Status != Optimal || bl.Status != Optimal {
+			t.Fatalf("trial %d: statuses %v / %v", trial, d.Status, bl.Status)
+		}
+		if math.Abs(d.Z-bl.Z) > 1e-7 {
+			t.Fatalf("trial %d: z %v vs %v", trial, d.Z, bl.Z)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package vmprim
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests exercise the library exactly as a downstream user
+// would: single import, host-created containers, SPMD bodies.
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	m := NewMachine(4, CM2())
+	g := SplitFor(m.Dim(), 8, 8)
+	dm := NewDense(8, 8)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			dm.Set(i, j, float64(i*8+j))
+		}
+	}
+	a, err := FromDense(g, dm, Block, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums, err := NewVector(g, 8, RowAligned, Block, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(func(p *Proc) {
+		e := NewEnv(p, g)
+		e.StoreVec(sums, e.ReduceRows(a, OpSum, true))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got := sums.ToSlice()
+	for j := 0; j < 8; j++ {
+		want := 0.0
+		for i := 0; i < 8; i++ {
+			want += float64(i*8 + j)
+		}
+		if got[j] != want {
+			t.Fatalf("column %d sum = %v, want %v", j, got[j], want)
+		}
+	}
+	if m.Elapsed() <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+}
+
+func TestFacadeGauss(t *testing.T) {
+	m := NewMachine(3, CM2())
+	a := DenseFromRows([][]float64{{4, 1, 0}, {1, 5, 2}, {0, 2, 6}})
+	b := []float64{5, 8, 8}
+	x, elapsed, err := SolveGauss(m, a, b, DefaultGaussOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := SerialGaussSolve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	if elapsed <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestFacadeSimplex(t *testing.T) {
+	m := NewMachine(3, CM2())
+	a := DenseFromRows([][]float64{{6, 4}, {1, 2}})
+	res, _, err := SolveSimplex(m, []float64{5, 4}, a, []float64{24, 6}, DefaultSimplexOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal || math.Abs(res.Z-21) > 1e-9 {
+		t.Fatalf("res = %+v", res)
+	}
+	serialRes, err := SerialSolveLP([]float64{5, 4}, a, []float64{24, 6}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != serialRes.Iterations {
+		t.Fatalf("iterations %d, serial %d", res.Iterations, serialRes.Iterations)
+	}
+}
+
+func TestFacadeMatvecVariantsAgree(t *testing.T) {
+	m := NewMachine(4, CM2())
+	a := NewDense(6, 10)
+	for i := range a.A {
+		a.A[i] = float64(i%7) - 3
+	}
+	x := []float64{1, -1, 2, 0.5, -0.25, 3}
+	want := SerialVecMatMul(x, a)
+	for _, v := range []MatvecVariant{MatvecPrimitive, MatvecFused, MatvecNaive} {
+		y, _, _, err := RunVecMat(m, a, x, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if math.Abs(y[j]-want[j]) > 1e-10 {
+				t.Fatalf("%v: y[%d] = %v, want %v", v, j, y[j], want[j])
+			}
+		}
+	}
+}
+
+func TestFacadeKernelComposition(t *testing.T) {
+	// Use VecMatKernel inside a caller-owned SPMD body, composing with
+	// a primitive afterwards: y = x*A, then the max element of y.
+	m := NewMachine(4, CM2())
+	g := SplitFor(m.Dim(), 8, 8)
+	dm := NewDense(8, 8)
+	for i := range dm.A {
+		dm.A[i] = float64(i % 5)
+	}
+	a, err := FromDense(g, dm, Block, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 8)
+	for i := range x {
+		x[i] = 1
+	}
+	xv, err := VectorFromSlice(g, x, ColAligned, Block, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxY float64
+	if _, err := m.Run(func(p *Proc) {
+		e := NewEnv(p, g)
+		y := VecMatKernel(e, a, xv, MatvecFused)
+		v := e.ReduceVec(y, OpMax)
+		if p.ID() == 0 {
+			maxY = v
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := math.Inf(-1)
+	for _, v := range SerialVecMatMul(x, dm) {
+		want = math.Max(want, v)
+	}
+	if maxY != want {
+		t.Fatalf("max y = %v, want %v", maxY, want)
+	}
+}
+
+func TestFacadeParamsPresets(t *testing.T) {
+	for _, p := range []Params{CM2(), IPSC(), Ideal()} {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFacadeGridHelpers(t *testing.T) {
+	g, err := NewGrid(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.PRows() != 4 || g.PCols() != 8 {
+		t.Fatalf("grid %+v", g)
+	}
+	if SplitFor(6, 100, 100).D != 6 {
+		t.Fatal("SplitFor dimension")
+	}
+}
