@@ -1,0 +1,149 @@
+// Command hostbench measures host-side performance of the vector-matrix
+// primitives: wall nanoseconds and heap allocations per operation, next
+// to the simulated machine time (which is deterministic and must not
+// change when host performance does). It exists to track the engine's
+// own overhead — goroutine scheduling, message buffering, kernel
+// dispatch — across revisions; see EXPERIMENTS.md for the methodology
+// and BENCH_1.json for recorded snapshots.
+//
+// Usage:
+//
+//	go run ./cmd/hostbench -d 8 -n 512 -benchtime 2s -o out.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"vmprim/internal/bench"
+	"vmprim/internal/core"
+	"vmprim/internal/costmodel"
+	"vmprim/internal/embed"
+	"vmprim/internal/hypercube"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	SimUsPerOp  float64 `json:"sim_us_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+type report struct {
+	Label      string   `json:"label,omitempty"`
+	Dim        int      `json:"dim"`
+	N          int      `json:"n"`
+	Benchtime  string   `json:"benchtime"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Timestamp  string   `json:"timestamp"`
+	Results    []result `json:"results"`
+}
+
+func main() {
+	dim := flag.Int("d", 8, "cube dimension (2^d processors)")
+	n := flag.Int("n", 512, "matrix order")
+	benchtime := flag.String("benchtime", "2s", "per-benchmark measuring time (testing -benchtime syntax)")
+	out := flag.String("o", "", "output JSON path (default stdout)")
+	label := flag.String("label", "", "free-form label recorded in the report")
+	testing.Init()
+	flag.Parse()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "hostbench:", err)
+		os.Exit(1)
+	}
+
+	m, err := hypercube.New(*dim, costmodel.CM2())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hostbench:", err)
+		os.Exit(1)
+	}
+	defer m.Close()
+	g := embed.SplitFor(*dim, *n, *n)
+	a, err := core.FromDense(g, bench.RandMat(1, *n, *n), embed.Block, embed.Block)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hostbench:", err)
+		os.Exit(1)
+	}
+
+	// The same primitive bodies as the BenchmarkPrimitive* benchmarks
+	// at the repository root, so numbers are comparable either way.
+	prims := []struct {
+		name string
+		body func(e *core.Env, a *core.Matrix)
+	}{
+		{"ExtractRow", func(e *core.Env, a *core.Matrix) { e.ExtractRow(a, a.Rows/2, true) }},
+		{"InsertRow", func(e *core.Env, a *core.Matrix) {
+			v := e.ExtractRow(a, 0, false)
+			e.InsertRow(a, v, a.Rows/2)
+		}},
+		{"Distribute", func(e *core.Env, a *core.Matrix) {
+			v := e.ExtractRow(a, 0, false)
+			e.Distribute(v)
+		}},
+		{"ReduceRows", func(e *core.Env, a *core.Matrix) { e.ReduceRows(a, core.OpSum, true) }},
+		{"ReduceColLoc", func(e *core.Env, a *core.Matrix) {
+			e.ReduceColLoc(a, a.Cols/2, 0, a.Rows, core.LocMaxAbs)
+		}},
+		{"Transpose", func(e *core.Env, a *core.Matrix) { e.Transpose(a) }},
+	}
+
+	rep := report{
+		Label:      *label,
+		Dim:        *dim,
+		N:          *n,
+		Benchtime:  *benchtime,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, pr := range prims {
+		body := pr.body
+		var sim costmodel.Time
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				elapsed, err := m.Run(func(p *hypercube.Proc) {
+					body(core.NewEnv(p, g), a)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = elapsed
+			}
+		})
+		r := result{
+			Name:        pr.name,
+			NsPerOp:     br.NsPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+			SimUsPerOp:  float64(sim),
+			Iterations:  br.N,
+		}
+		fmt.Fprintf(os.Stderr, "%-14s %10d ns/op %8d allocs/op %10d B/op %12.1f sim-us/op\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.SimUsPerOp)
+		rep.Results = append(rep.Results, r)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hostbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "hostbench:", err)
+		os.Exit(1)
+	}
+}

@@ -72,8 +72,7 @@ func GaussKernel(e *core.Env, w *core.Matrix, xOut *core.Vector) error {
 		}, 1)
 		// Rank-1 elementwise update of the active submatrix. Column k
 		// is included so the eliminated entries become exact zeros.
-		e.UpdateOuter(w, mcol, prow, k+1, n, k, n+1,
-			func(aij, mi, pj float64) float64 { return aij - mi*pj }, 2)
+		e.UpdateOuterSub(w, mcol, prow, k+1, n, k, n+1)
 	}
 
 	// Back substitution: x_k = w[k][n] / w[k][k], then eliminate
@@ -174,8 +173,7 @@ func Determinant(mach *hypercube.Machine, a *serial.Mat, opts GaussOpts) (float6
 				}
 				return v * inv
 			}, 1)
-			e.UpdateOuter(w, mcol, prow, k+1, n, k, n,
-				func(aij, mi, pj float64) float64 { return aij - mi*pj }, 2)
+			e.UpdateOuterSub(w, mcol, prow, k+1, n, k, n)
 		}
 		if p.ID() == 0 {
 			det = d

@@ -46,8 +46,7 @@ func EliminateMulti(e *core.Env, w *core.Matrix, nrhs int) error {
 			}
 			return v * inv
 		}, 1)
-		e.UpdateOuter(w, mcol, prow, k+1, n, k, cols,
-			func(aij, mi, pj float64) float64 { return aij - mi*pj }, 2)
+		e.UpdateOuterSub(w, mcol, prow, k+1, n, k, cols)
 	}
 	// Back substitution: normalize row k's solution block, extract it,
 	// and clear column k from the rows above with one restricted
@@ -61,8 +60,7 @@ func EliminateMulti(e *core.Env, w *core.Matrix, nrhs int) error {
 		}
 		xrow := e.ExtractRow(w, k, true)
 		ck := e.ExtractCol(w, k, true)
-		e.UpdateOuter(w, ck, xrow, 0, k, n, cols,
-			func(aij, ci, xj float64) float64 { return aij - ci*xj }, 2)
+		e.UpdateOuterSub(w, ck, xrow, 0, k, n, cols)
 	}
 	return nil
 }

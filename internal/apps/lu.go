@@ -77,8 +77,7 @@ func LUFactor(mach *hypercube.Machine, a *serial.Mat, opts GaussOpts) (*LU, erro
 			}, 1)
 			// Trailing update: columns right of k only, so column k
 			// keeps its U entries at rows <= k.
-			e.UpdateOuter(w, mult, prow, k+1, n, k+1, n,
-				func(aij, mi, pj float64) float64 { return aij - mi*pj }, 2)
+			e.UpdateOuterSub(w, mult, prow, k+1, n, k+1, n)
 			// Store L: column k below the diagonal becomes the
 			// multipliers; at and above it keeps the extracted values.
 			lcol := e.CopyVec(colK)

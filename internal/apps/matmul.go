@@ -33,8 +33,7 @@ func MatMulKernel(e *core.Env, c, a, b *core.Matrix) {
 	for k := 0; k < a.Cols; k++ {
 		ak := e.ExtractCol(a, k, true) // Extract + Distribute
 		bk := e.ExtractRow(b, k, true) // Extract + Distribute
-		e.UpdateOuter(c, ak, bk, 0, c.Rows, 0, c.Cols,
-			func(cij, ai, bj float64) float64 { return cij + ai*bj }, 2)
+		e.UpdateOuterAddMul(c, ak, bk, 0, c.Rows, 0, c.Cols)
 	}
 }
 

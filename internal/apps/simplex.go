@@ -132,8 +132,7 @@ func simplexLoop(e *core.Env, t *core.Matrix, nVars, maxIter int, bland bool) (s
 			}
 			return v
 		}, 1)
-		e.UpdateOuter(t, mult, prow, 0, m+1, 0, rhs+1,
-			func(aij, f, pj float64) float64 { return aij - f*pj }, 2)
+		e.UpdateOuterSub(t, mult, prow, 0, m+1, 0, rhs+1)
 		basis[ir] = jc
 		iters++
 	}

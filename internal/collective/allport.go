@@ -185,6 +185,7 @@ func ReduceAllPort(p *hypercube.Proc, mask, tag, rootRel int, data []float64, co
 			}
 			comb(pieces[rs.tree], got[rs.slot])
 			p.Compute(len(pieces[rs.tree]))
+			p.Recycle(got[rs.slot])
 		}
 	}
 	if r != 0 {

@@ -136,7 +136,7 @@ func Bcast(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 
 	}
 	if r == 0 {
 		// Hand the root a private copy too, so all returns are alias-free.
-		cp := make([]float64, len(buf))
+		cp := p.GetBuf(len(buf))
 		copy(cp, buf)
 		return cp
 	}
@@ -160,7 +160,9 @@ func BcastLarge(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []flo
 		panic(fmt.Sprintf("collective: BcastLarge length %d not divisible by %d", len(data), 1<<k))
 	}
 	piece := Scatter(p, mask, tag, rootRel, data)
-	return AllGather(p, mask, tag+1, piece)
+	out := AllGather(p, mask, tag+1, piece)
+	p.Recycle(piece)
+	return out
 }
 
 // Reduce combines data across the subcube with comb, delivering the
@@ -172,7 +174,7 @@ func Reduce(p *hypercube.Proc, mask, tag, rootRel int, data []float64, comb Comb
 	ds := gray.Dims(mask)
 	k := len(ds)
 	r := rel(p, mask) ^ rootRel
-	acc := make([]float64, len(data))
+	acc := p.GetBuf(len(data))
 	copy(acc, data)
 	for i := 0; i < k; i++ {
 		low := r & ((1 << (i + 1)) - 1)
@@ -181,8 +183,10 @@ func Reduce(p *hypercube.Proc, mask, tag, rootRel int, data []float64, comb Comb
 			src := p.Recv(ds[i], subTag(tag, i))
 			comb(acc, src)
 			p.Compute(len(acc))
+			p.Recycle(src)
 		case low == 1<<i:
 			p.Send(ds[i], subTag(tag, i), acc)
+			p.Recycle(acc)
 			acc = nil
 			// This processor's part is done; it holds no data.
 			i = k
@@ -204,7 +208,7 @@ func ReduceScatter(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
-		cp := make([]float64, len(data))
+		cp := p.GetBuf(len(data))
 		copy(cp, data)
 		return cp, 0
 	}
@@ -212,7 +216,7 @@ func ReduceScatter(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 		panic(fmt.Sprintf("collective: ReduceScatter length %d not divisible by %d", len(data), 1<<k))
 	}
 	r := rel(p, mask)
-	cur := make([]float64, len(data))
+	cur := p.GetBuf(len(data))
 	copy(cur, data)
 	offset = 0
 	for i := k - 1; i >= 0; i-- {
@@ -227,6 +231,7 @@ func ReduceScatter(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 		got := p.Exchange(ds[i], subTag(tag, i), send)
 		comb(keep, got)
 		p.Compute(half)
+		p.Recycle(got)
 		cur = keep
 	}
 	return cur, offset
@@ -239,19 +244,23 @@ func ReduceScatter(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 func AllGather(p *hypercube.Proc, mask, tag int, piece []float64) []float64 {
 	ds := gray.Dims(mask)
 	r := rel(p, mask)
-	buf := make([]float64, len(piece))
+	buf := p.GetBuf(len(piece))
 	copy(buf, piece)
 	for i := 0; i < len(ds); i++ {
 		got := p.Exchange(ds[i], subTag(tag, i), buf)
 		if len(got) != len(buf) {
 			panic("collective: AllGather piece length mismatch")
 		}
-		merged := make([]float64, 0, 2*len(buf))
+		merged := p.GetBuf(2 * len(buf))
 		if r&(1<<i) == 0 {
-			merged = append(append(merged, buf...), got...)
+			copy(merged, buf)
+			copy(merged[len(buf):], got)
 		} else {
-			merged = append(append(merged, got...), buf...)
+			copy(merged, got)
+			copy(merged[len(got):], buf)
 		}
+		p.Recycle(got)
+		p.Recycle(buf)
 		buf = merged
 	}
 	return buf
@@ -267,7 +276,7 @@ func AllReduce(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) 
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
-		cp := make([]float64, len(data))
+		cp := p.GetBuf(len(data))
 		copy(cp, data)
 		return cp
 	}
@@ -280,14 +289,17 @@ func AllReduce(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) 
 	halving := 2*float64(k)*float64(params.CommStartup) + 2*float64(n)*float64(params.CommPerWord)
 	if n%(1<<k) == 0 && n > 0 && halving < doubling {
 		piece, _ := ReduceScatter(p, mask, tag, data, comb)
-		return AllGather(p, mask, tag+1, piece)
+		out := AllGather(p, mask, tag+1, piece)
+		p.Recycle(piece)
+		return out
 	}
-	acc := make([]float64, n)
+	acc := p.GetBuf(n)
 	copy(acc, data)
 	for i := 0; i < k; i++ {
 		got := p.Exchange(ds[i], subTag(tag, i), acc)
 		comb(acc, got)
 		p.Compute(n)
+		p.Recycle(got)
 	}
 	return acc
 }
@@ -312,12 +324,17 @@ func Gather(p *hypercube.Proc, mask, tag, rootRel int, piece []float64) []float6
 		switch {
 		case low == 1<<i:
 			// Flatten segments with origin headers and ship them.
-			flat := make([]float64, 0, len(segs)*(len(piece)+2))
+			total := 0
+			for _, s := range segs {
+				total += 2 + len(s.words)
+			}
+			flat := p.GetBuf(total)[:0]
 			for _, s := range segs {
 				flat = append(flat, float64(s.origin), float64(len(s.words)))
 				flat = append(flat, s.words...)
 			}
 			p.Send(ds[i], subTag(tag, i), flat)
+			p.Recycle(flat)
 			segs = nil
 			i = k
 		case low == 0:
@@ -329,6 +346,7 @@ func Gather(p *hypercube.Proc, mask, tag, rootRel int, piece []float64) []float6
 				segs = append(segs, seg{origin: origin, words: append([]float64(nil), flat[j:j+n]...)})
 				j += n
 			}
+			p.Recycle(flat)
 		}
 	}
 	if rel(p, mask)^rootRel != 0 {
@@ -348,7 +366,7 @@ func Scatter(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float6
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
-		cp := make([]float64, len(data))
+		cp := p.GetBuf(len(data))
 		copy(cp, data)
 		return cp
 	}
@@ -386,12 +404,17 @@ func Scatter(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float6
 					mine = append(mine, s)
 				}
 			}
-			flat := make([]float64, 0)
+			total := 0
+			for _, s := range theirs {
+				total += 2 + len(s.words)
+			}
+			flat := p.GetBuf(total)[:0]
 			for _, s := range theirs {
 				flat = append(flat, float64(s.dest), float64(len(s.words)))
 				flat = append(flat, s.words...)
 			}
 			p.Send(ds[i], subTag(tag, i), flat)
+			p.Recycle(flat)
 			segs = mine
 		case low == 1<<i:
 			flat := p.Recv(ds[i], subTag(tag, i))
@@ -402,11 +425,12 @@ func Scatter(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float6
 				segs = append(segs, seg{dest: dest, words: append([]float64(nil), flat[j:j+n]...)})
 				j += n
 			}
+			p.Recycle(flat)
 		}
 	}
 	for _, s := range segs {
 		if s.dest == myRel {
-			cp := make([]float64, len(s.words))
+			cp := p.GetBuf(len(s.words))
 			copy(cp, s.words)
 			return cp
 		}
@@ -436,10 +460,11 @@ func AllToAll(p *hypercube.Proc, mask, tag int, out [][]float64) [][]float64 {
 		}
 		cur[j] = append([]float64(nil), w...)
 	}
+	slots := make([]int, 0, len(cur)/2)
 	for i := 0; i < k; i++ {
 		// Exchange the slots whose index bit i differs from ours.
-		flat := make([]float64, 0, (len(cur)/2)*sz)
-		var slots []int
+		flat := p.GetBuf((len(cur) / 2) * sz)[:0]
+		slots = slots[:0]
 		for j := range cur {
 			if j>>i&1 != r>>i&1 {
 				flat = append(flat, cur[j]...)
@@ -450,9 +475,11 @@ func AllToAll(p *hypercube.Proc, mask, tag int, out [][]float64) [][]float64 {
 		if len(got) != len(flat) {
 			panic("collective: AllToAll volume mismatch")
 		}
+		p.Recycle(flat)
 		for si, j := range slots {
 			copy(cur[j], got[si*sz:(si+1)*sz])
 		}
+		p.Recycle(got)
 	}
 	return cur
 }
@@ -464,8 +491,10 @@ func AllToAll(p *hypercube.Proc, mask, tag int, out [][]float64) [][]float64 {
 func ScanInclusive(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) []float64 {
 	ds := gray.Dims(mask)
 	r := rel(p, mask)
-	prefix := append([]float64(nil), data...)
-	total := append([]float64(nil), data...)
+	prefix := p.GetBuf(len(data))
+	copy(prefix, data)
+	total := p.GetBuf(len(data))
+	copy(total, data)
 	for i := 0; i < len(ds); i++ {
 		got := p.Exchange(ds[i], subTag(tag, i), total)
 		if r>>i&1 == 1 {
@@ -474,7 +503,9 @@ func ScanInclusive(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 		}
 		comb(total, got)
 		p.Compute(len(total))
+		p.Recycle(got)
 	}
+	p.Recycle(total)
 	return prefix
 }
 
@@ -485,8 +516,10 @@ func ScanInclusive(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 func ScanExclusive(p *hypercube.Proc, mask, tag int, data, identity []float64, comb Combiner) []float64 {
 	ds := gray.Dims(mask)
 	r := rel(p, mask)
-	prefix := append([]float64(nil), identity...)
-	total := append([]float64(nil), data...)
+	prefix := p.GetBuf(len(identity))
+	copy(prefix, identity)
+	total := p.GetBuf(len(data))
+	copy(total, data)
 	for i := 0; i < len(ds); i++ {
 		got := p.Exchange(ds[i], subTag(tag, i), total)
 		if r>>i&1 == 1 {
@@ -495,6 +528,8 @@ func ScanExclusive(p *hypercube.Proc, mask, tag int, data, identity []float64, c
 		}
 		comb(total, got)
 		p.Compute(len(total))
+		p.Recycle(got)
 	}
+	p.Recycle(total)
 	return prefix
 }

@@ -125,6 +125,19 @@ type Matrix struct {
 // NewMatrix returns a zero matrix of the given shape distributed on
 // grid g with the given row and column maps.
 func NewMatrix(g embed.Grid, rows, cols int, rkind, ckind embed.MapKind) (*Matrix, error) {
+	m, err := newMatrixShape(g, rows, cols, rkind, ckind)
+	if err != nil {
+		return nil, err
+	}
+	m.blocks = make([][]float64, g.P())
+	return m, nil
+}
+
+// newMatrixShape validates and builds the matrix header without any
+// backing storage: hosts attach the all-processor block table,
+// SPMD-local temporaries stay storage-free until L materializes the
+// caller's own block.
+func newMatrixShape(g embed.Grid, rows, cols int, rkind, ckind embed.MapKind) (*Matrix, error) {
 	if rows < 0 || cols < 0 {
 		return nil, fmt.Errorf("core: invalid shape %dx%d", rows, cols)
 	}
@@ -136,10 +149,7 @@ func NewMatrix(g embed.Grid, rows, cols int, rkind, ckind embed.MapKind) (*Matri
 	if err != nil {
 		return nil, err
 	}
-	return &Matrix{
-		Rows: rows, Cols: cols, G: g, RMap: rmap, CMap: cmap,
-		blocks: make([][]float64, g.P()),
-	}, nil
+	return &Matrix{Rows: rows, Cols: cols, G: g, RMap: rmap, CMap: cmap}, nil
 }
 
 // MustNewMatrix is NewMatrix for static arguments; panics on error.
@@ -246,6 +256,17 @@ type Vector struct {
 // For aligned layouts home names the owning grid row/column; pass
 // replicated=true for a copy on every grid row/column.
 func NewVector(g embed.Grid, n int, layout Layout, kind embed.MapKind, home int, replicated bool) (*Vector, error) {
+	v, err := newVectorShape(g, n, layout, kind, home, replicated)
+	if err != nil {
+		return nil, err
+	}
+	v.vals = make([][]float64, g.P())
+	return v, nil
+}
+
+// newVectorShape validates and builds the vector header without any
+// backing storage (see newMatrixShape).
+func newVectorShape(g embed.Grid, n int, layout Layout, kind embed.MapKind, home int, replicated bool) (*Vector, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("core: invalid vector length %d", n)
 	}
@@ -273,7 +294,6 @@ func NewVector(g embed.Grid, n int, layout Layout, kind embed.MapKind, home int,
 	}
 	return &Vector{
 		N: n, G: g, Layout: layout, Map: m, Replicated: replicated, Home: home,
-		vals: make([][]float64, g.P()),
 	}, nil
 }
 
@@ -340,22 +360,20 @@ func (v *Vector) SameShape(w *Vector) bool {
 // holding only this processor's block. Every processor of the machine
 // must create the temporary with identical arguments.
 func (e *Env) TempMatrix(rows, cols int, rkind, ckind embed.MapKind) *Matrix {
-	m, err := NewMatrix(e.G, rows, cols, rkind, ckind)
+	m, err := newMatrixShape(e.G, rows, cols, rkind, ckind)
 	if err != nil {
 		panic(err)
 	}
-	m.blocks = nil
 	m.isLocal = true
 	return m
 }
 
 // TempVector creates an SPMD-local zero vector (see TempMatrix).
 func (e *Env) TempVector(n int, layout Layout, kind embed.MapKind, home int, replicated bool) *Vector {
-	v, err := NewVector(e.G, n, layout, kind, home, replicated)
+	v, err := newVectorShape(e.G, n, layout, kind, home, replicated)
 	if err != nil {
 		panic(err)
 	}
-	v.vals = nil
 	v.isLocal = true
 	return v
 }

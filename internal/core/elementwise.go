@@ -18,23 +18,28 @@ func (e *Env) MapRange(a *Matrix, rlo, rhi, clo, chi int, f func(i, j int, v flo
 	blk := a.L(pid)
 	b := a.CMap.B
 	myRow, myCol := e.GridRow(), e.GridCol()
-	count := 0
-	for lr := 0; lr < a.RMap.B; lr++ {
-		gi := a.RMap.GlobalOf(myRow, lr)
-		if gi < rlo || gi >= rhi {
-			continue
-		}
-		row := blk[lr*b : (lr+1)*b]
-		for lc := range row {
-			gj := a.CMap.GlobalOf(myCol, lc)
-			if gj < clo || gj >= chi {
-				continue
-			}
-			row[lc] = f(gi, gj, row[lc])
-			count++
-		}
+	// The restricted global ranges occupy contiguous local windows;
+	// walk them with incremental global indices instead of per-element
+	// GlobalOf guards.
+	lr0, lr1 := a.RMap.LocalRange(myRow, rlo, rhi)
+	lc0, lc1 := a.CMap.LocalRange(myCol, clo, chi)
+	if lr0 >= lr1 || lc0 >= lc1 {
+		e.P.Compute(0)
+		return
 	}
-	e.P.Compute(count * flopsPer)
+	gi := a.RMap.GlobalOf(myRow, lr0)
+	gj0 := a.CMap.GlobalOf(myCol, lc0)
+	rstride, cstride := a.RMap.GlobalStride(), a.CMap.GlobalStride()
+	for lr := lr0; lr < lr1; lr++ {
+		row := blk[lr*b+lc0 : lr*b+lc1]
+		gj := gj0
+		for lc := range row {
+			row[lc] = f(gi, gj, row[lc])
+			gj += cstride
+		}
+		gi += rstride
+	}
+	e.P.Compute((lr1 - lr0) * (lc1 - lc0) * flopsPer)
 }
 
 // MapMatrix applies f in place to every element.
@@ -51,22 +56,16 @@ func (e *Env) ZipMatrix(dst, src *Matrix, f func(a, b float64) float64, flopsPer
 	pid := e.P.ID()
 	db, sb := dst.L(pid), src.L(pid)
 	b := dst.CMap.B
-	myRow, myCol := e.GridRow(), e.GridCol()
-	count := 0
-	for lr := 0; lr < dst.RMap.B; lr++ {
-		if dst.RMap.GlobalOf(myRow, lr) < 0 {
-			continue
-		}
-		for lc := 0; lc < b; lc++ {
-			if dst.CMap.GlobalOf(myCol, lc) < 0 {
-				continue
-			}
-			i := lr*b + lc
+	nr := dst.RMap.ValidCount(e.GridRow())
+	nc := dst.CMap.ValidCount(e.GridCol())
+	for lr := 0; lr < nr; lr++ {
+		base := lr * b
+		for lc := 0; lc < nc; lc++ {
+			i := base + lc
 			db[i] = f(db[i], sb[i])
-			count++
 		}
 	}
-	e.P.Compute(count * flopsPer)
+	e.P.Compute(nr * nc * flopsPer)
 }
 
 // UpdateOuter applies the restricted rank-1-style update
@@ -78,6 +77,45 @@ func (e *Env) ZipMatrix(dst, src *Matrix, f func(a, b float64) float64, flopsPer
 // of the paper's Gaussian elimination and simplex updates). The
 // default f for elimination is a - c*r at 2 flops per element.
 func (e *Env) UpdateOuter(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int, f func(aij, ci, rj float64) float64, flopsPer int) {
+	blk, cvp, rvp, lr0, lr1, lc0, lc1, b := e.outerWindows(a, cv, rv, rlo, rhi, clo, chi)
+	for lr := lr0; lr < lr1; lr++ {
+		ci := cvp[lr]
+		row := blk[lr*b+lc0 : lr*b+lc1]
+		rvw := rvp[lc0:lc1]
+		for lc, r := range rvw {
+			row[lc] = f(row[lc], ci, r)
+		}
+	}
+	e.P.Compute((lr1 - lr0) * (lc1 - lc0) * flopsPer)
+}
+
+// UpdateOuterSub is UpdateOuter fused for the elimination update
+// a[i][j] -= cv[i]*rv[j] (2 flops per element): the inner loop is a
+// monomorphic multiply-subtract with no closure call, the hot kernel
+// of Gaussian elimination, LU and simplex pivoting.
+func (e *Env) UpdateOuterSub(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int) {
+	blk, cvp, rvp, lr0, lr1, lc0, lc1, b := e.outerWindows(a, cv, rv, rlo, rhi, clo, chi)
+	for lr := lr0; lr < lr1; lr++ {
+		subOuterRow(blk[lr*b+lc0:lr*b+lc1], cvp[lr], rvp[lc0:lc1])
+	}
+	e.P.Compute((lr1 - lr0) * (lc1 - lc0) * 2)
+}
+
+// UpdateOuterAddMul is UpdateOuter fused for the accumulation
+// a[i][j] += cv[i]*rv[j] (2 flops per element): the rank-1 step of
+// the broadcast matrix multiply.
+func (e *Env) UpdateOuterAddMul(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int) {
+	blk, cvp, rvp, lr0, lr1, lc0, lc1, b := e.outerWindows(a, cv, rv, rlo, rhi, clo, chi)
+	for lr := lr0; lr < lr1; lr++ {
+		addMulOuterRow(blk[lr*b+lc0:lr*b+lc1], cvp[lr], rvp[lc0:lc1])
+	}
+	e.P.Compute((lr1 - lr0) * (lc1 - lc0) * 2)
+}
+
+// outerWindows validates the UpdateOuter-family arguments and returns
+// the local block, vector pieces and the contiguous local windows
+// covering [rlo,rhi) x [clo,chi).
+func (e *Env) outerWindows(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int) (blk, cvp, rvp []float64, lr0, lr1, lc0, lc1, b int) {
 	if cv.Layout != ColAligned || cv.N != a.Rows || cv.Map != a.RMap {
 		panic("core: UpdateOuter cv incompatible with matrix rows")
 	}
@@ -88,28 +126,12 @@ func (e *Env) UpdateOuter(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int, f f
 		panic("core: UpdateOuter needs replicated vectors (Distribute first)")
 	}
 	pid := e.P.ID()
-	blk := a.L(pid)
-	cvp, rvp := cv.L(pid), rv.L(pid)
-	b := a.CMap.B
-	myRow, myCol := e.GridRow(), e.GridCol()
-	count := 0
-	for lr := 0; lr < a.RMap.B; lr++ {
-		gi := a.RMap.GlobalOf(myRow, lr)
-		if gi < rlo || gi >= rhi {
-			continue
-		}
-		ci := cvp[lr]
-		row := blk[lr*b : (lr+1)*b]
-		for lc := range row {
-			gj := a.CMap.GlobalOf(myCol, lc)
-			if gj < clo || gj >= chi {
-				continue
-			}
-			row[lc] = f(row[lc], ci, rvp[lc])
-			count++
-		}
-	}
-	e.P.Compute(count * flopsPer)
+	blk = a.L(pid)
+	cvp, rvp = cv.L(pid), rv.L(pid)
+	b = a.CMap.B
+	lr0, lr1 = a.RMap.LocalRange(e.GridRow(), rlo, rhi)
+	lc0, lc1 = a.CMap.LocalRange(e.GridCol(), clo, chi)
+	return
 }
 
 // MapVec applies f in place to every element of v on its holders.
@@ -121,42 +143,46 @@ func (e *Env) MapVec(v *Vector, f func(g int, x float64) float64, flopsPer int) 
 	}
 	pv := v.L(pid)
 	c := v.PieceCoord(pid)
-	count := 0
-	for l := range pv {
-		g := v.Map.GlobalOf(c, l)
-		if g < 0 {
-			continue
+	nv := v.Map.ValidCount(c)
+	if nv > 0 {
+		g := v.Map.GlobalOf(c, 0)
+		stride := v.Map.GlobalStride()
+		for l := 0; l < nv; l++ {
+			pv[l] = f(g, pv[l])
+			g += stride
 		}
-		pv[l] = f(g, pv[l])
-		count++
 	}
-	e.P.Compute(count * flopsPer)
+	e.P.Compute(nv * flopsPer)
 }
 
-// ZipVec applies dst[g] = f(dst[g], src[g]) on processors holding
-// both; the vectors must share layout, map, and holders.
-func (e *Env) ZipVec(dst, src *Vector, f func(a, b float64) float64, flopsPer int) {
+// zipSlices validates a ZipVec-family pair and returns the local
+// pieces with the length of their valid prefix; ok is false when this
+// processor holds no data.
+func (e *Env) zipSlices(dst, src *Vector) (dp, sp []float64, nv int, ok bool) {
 	if !dst.SameShape(src) {
 		panic("core: ZipVec shape mismatch")
 	}
 	pid := e.P.ID()
 	if !dst.HoldsData(pid) {
-		return
+		return nil, nil, 0, false
 	}
 	if !src.HoldsData(pid) {
 		panic("core: ZipVec src not present where dst is (Distribute or realign first)")
 	}
-	dp, sp := dst.L(pid), src.L(pid)
-	c := dst.PieceCoord(pid)
-	count := 0
-	for l := range dp {
-		if dst.Map.GlobalOf(c, l) < 0 {
-			continue
-		}
-		dp[l] = f(dp[l], sp[l])
-		count++
+	return dst.L(pid), src.L(pid), dst.Map.ValidCount(dst.PieceCoord(pid)), true
+}
+
+// ZipVec applies dst[g] = f(dst[g], src[g]) on processors holding
+// both; the vectors must share layout, map, and holders.
+func (e *Env) ZipVec(dst, src *Vector, f func(a, b float64) float64, flopsPer int) {
+	dp, sp, nv, ok := e.zipSlices(dst, src)
+	if !ok {
+		return
 	}
-	e.P.Compute(count * flopsPer)
+	for l := 0; l < nv; l++ {
+		dp[l] = f(dp[l], sp[l])
+	}
+	e.P.Compute(nv * flopsPer)
 }
 
 // CopyMatrix returns an SPMD-local deep copy of a (same embedding).
@@ -220,14 +246,14 @@ func (e *Env) ZipVecWith(dst, src *Vector, f func(g int, a, b float64) float64, 
 	}
 	dp, sp := dst.L(pid), src.L(pid)
 	c := dst.PieceCoord(pid)
-	count := 0
-	for l := range dp {
-		g := dst.Map.GlobalOf(c, l)
-		if g < 0 {
-			continue
+	nv := dst.Map.ValidCount(c)
+	if nv > 0 {
+		g := dst.Map.GlobalOf(c, 0)
+		stride := dst.Map.GlobalStride()
+		for l := 0; l < nv; l++ {
+			dp[l] = f(g, dp[l], sp[l])
+			g += stride
 		}
-		dp[l] = f(g, dp[l], sp[l])
-		count++
 	}
-	e.P.Compute(count * flopsPer)
+	e.P.Compute(nv * flopsPer)
 }

@@ -29,17 +29,19 @@ func (e *Env) ExtractRow(a *Matrix, i int, replicate bool) *Vector {
 	var piece []float64
 	if e.GridRow() == ownerRow {
 		blk := a.L(pid)
-		piece = make([]float64, b)
+		piece = e.P.GetBuf(b)
 		copy(piece, blk[lr*b:(lr+1)*b])
 		e.P.Compute(b)
 	}
 	switch {
 	case replicate:
-		piece = collective.Bcast(e.P, e.G.RowMask(), e.NextTag(), e.G.RowRel(ownerRow), piece)
-		copy(v.L(pid), piece)
+		got := collective.Bcast(e.P, e.G.RowMask(), e.NextTag(), e.G.RowRel(ownerRow), piece)
+		copy(v.L(pid), got)
+		e.P.Recycle(got)
 	case e.GridRow() == ownerRow:
 		copy(v.L(pid), piece)
 	}
+	e.P.Recycle(piece)
 	return v
 }
 
@@ -57,7 +59,7 @@ func (e *Env) ExtractCol(a *Matrix, j int, replicate bool) *Vector {
 	var piece []float64
 	if e.GridCol() == ownerCol {
 		blk := a.L(pid)
-		piece = make([]float64, a.RMap.B)
+		piece = e.P.GetBuf(a.RMap.B)
 		for r := 0; r < a.RMap.B; r++ {
 			piece[r] = blk[r*b+lc]
 		}
@@ -65,11 +67,13 @@ func (e *Env) ExtractCol(a *Matrix, j int, replicate bool) *Vector {
 	}
 	switch {
 	case replicate:
-		piece = collective.Bcast(e.P, e.G.ColMask(), e.NextTag(), e.G.ColRel(ownerCol), piece)
-		copy(v.L(pid), piece)
+		got := collective.Bcast(e.P, e.G.ColMask(), e.NextTag(), e.G.ColRel(ownerCol), piece)
+		copy(v.L(pid), got)
+		e.P.Recycle(got)
 	case e.GridCol() == ownerCol:
 		copy(v.L(pid), piece)
 	}
+	e.P.Recycle(piece)
 	return v
 }
 
@@ -89,6 +93,7 @@ func (e *Env) sendAlong(mask, fromRel, toRel int, data []float64) []float64 {
 	tag := e.NextTag()
 	cur := fromRel
 	var buf []float64
+	owned := false // buf came from Recv (pooled), not from the caller
 	if myRel == fromRel {
 		buf = data
 	}
@@ -100,9 +105,13 @@ func (e *Env) sendAlong(mask, fromRel, toRel int, data []float64) []float64 {
 		switch myRel {
 		case cur:
 			e.P.Send(d, tag, buf)
+			if owned {
+				e.P.Recycle(buf)
+			}
 			buf = nil
 		case next:
 			buf = e.P.Recv(d, tag)
+			owned = true
 		}
 		cur = next
 	}
@@ -129,6 +138,7 @@ func (e *Env) InsertRow(a *Matrix, v *Vector, i int) {
 	pid := e.P.ID()
 	b := a.CMap.B
 	var piece []float64
+	moved := false
 	switch {
 	case v.Replicated || v.Home == ownerRow:
 		if e.GridRow() == ownerRow {
@@ -140,10 +150,14 @@ func (e *Env) InsertRow(a *Matrix, v *Vector, i int) {
 			src = v.L(pid)
 		}
 		piece = e.sendAlong(e.G.RowMask(), e.G.RowRel(v.Home), e.G.RowRel(ownerRow), src)
+		moved = true // a non-nil piece here is a pooled receive buffer
 	}
 	if e.GridRow() == ownerRow {
 		copy(a.L(pid)[lr*b:(lr+1)*b], piece)
 		e.P.Compute(b)
+		if moved {
+			e.P.Recycle(piece)
+		}
 	}
 }
 
@@ -161,6 +175,7 @@ func (e *Env) InsertCol(a *Matrix, v *Vector, j int) {
 	pid := e.P.ID()
 	b := a.CMap.B
 	var piece []float64
+	moved := false
 	switch {
 	case v.Replicated || v.Home == ownerCol:
 		if e.GridCol() == ownerCol {
@@ -172,6 +187,7 @@ func (e *Env) InsertCol(a *Matrix, v *Vector, j int) {
 			src = v.L(pid)
 		}
 		piece = e.sendAlong(e.G.ColMask(), e.G.ColRel(v.Home), e.G.ColRel(ownerCol), src)
+		moved = true
 	}
 	if e.GridCol() == ownerCol {
 		blk := a.L(pid)
@@ -179,6 +195,9 @@ func (e *Env) InsertCol(a *Matrix, v *Vector, j int) {
 			blk[r*b+lc] = piece[r]
 		}
 		e.P.Compute(a.RMap.B)
+		if moved {
+			e.P.Recycle(piece)
+		}
 	}
 }
 
@@ -204,10 +223,14 @@ func (e *Env) ElemAt(a *Matrix, i, j int) float64 {
 	var data []float64
 	if e.P.ID() == owner {
 		lr, lc := a.RMap.LocalOf(i), a.CMap.LocalOf(j)
-		data = []float64{a.L(owner)[lr*a.CMap.B+lc]}
+		data = e.P.GetBuf(1)
+		data[0] = a.L(owner)[lr*a.CMap.B+lc]
 	}
 	got := collective.Bcast(e.P, e.P.FullMask(), e.NextTag(), owner, data)
-	return got[0]
+	out := got[0]
+	e.P.Recycle(got)
+	e.P.Recycle(data)
+	return out
 }
 
 // SetElem writes element (i, j) on its owner; every processor calls
@@ -234,10 +257,14 @@ func (e *Env) VecElemAt(v *Vector, idx int) float64 {
 	owner := e.vecOwnerProc(v, c)
 	var data []float64
 	if e.P.ID() == owner {
-		data = []float64{v.L(owner)[l]}
+		data = e.P.GetBuf(1)
+		data[0] = v.L(owner)[l]
 	}
 	got := collective.Bcast(e.P, e.P.FullMask(), e.NextTag(), owner, data)
-	return got[0]
+	out := got[0]
+	e.P.Recycle(got)
+	e.P.Recycle(data)
+	return out
 }
 
 // vecOwnerProc returns the canonical owner processor of piece

@@ -24,24 +24,18 @@ func (e *Env) ReduceRows(a *Matrix, op Op, replicate bool) *Vector {
 	pid := e.P.ID()
 	blk := a.L(pid)
 	b := a.CMap.B
-	piece := make([]float64, b)
-	for lc := 0; lc < b; lc++ {
-		piece[lc] = op.identity()
+	piece := e.P.GetBuf(b)
+	fillIdentity(piece, op)
+	// Padding rows are a suffix of the local block, so the valid rows
+	// form the prefix [0, nr) and the fold kernel runs guard-free.
+	nr := a.RMap.ValidCount(e.GridRow())
+	fold := foldKernel(op)
+	for lr := 0; lr < nr; lr++ {
+		fold(piece, blk[lr*b:(lr+1)*b])
 	}
-	myRow := e.GridRow()
-	count := 0
-	for lr := 0; lr < a.RMap.B; lr++ {
-		if a.RMap.GlobalOf(myRow, lr) < 0 {
-			continue // padding row
-		}
-		row := blk[lr*b : (lr+1)*b]
-		for lc, val := range row {
-			piece[lc] = op.fold(piece[lc], val)
-		}
-		count += b
-	}
-	e.P.Compute(count)
+	e.P.Compute(nr * b)
 	e.finishReduce(v, piece, e.G.RowMask(), replicate, op)
+	e.P.Recycle(piece)
 	return v
 }
 
@@ -53,23 +47,18 @@ func (e *Env) ReduceCols(a *Matrix, op Op, replicate bool) *Vector {
 	pid := e.P.ID()
 	blk := a.L(pid)
 	b := a.CMap.B
-	piece := make([]float64, a.RMap.B)
-	myCol := e.GridCol()
-	count := 0
+	piece := e.P.GetBuf(a.RMap.B)
+	// Padding columns are a suffix: every row folds the valid prefix
+	// [0, nc). Padding rows still fold (their slots ride the collective
+	// exactly as in the per-element form).
+	nc := a.CMap.ValidCount(e.GridCol())
+	id := op.identity()
 	for lr := 0; lr < a.RMap.B; lr++ {
-		acc := op.identity()
-		row := blk[lr*b : (lr+1)*b]
-		for lc, val := range row {
-			if a.CMap.GlobalOf(myCol, lc) < 0 {
-				continue // padding column
-			}
-			acc = op.fold(acc, val)
-			count++
-		}
-		piece[lr] = acc
+		piece[lr] = foldSlice(op, id, blk[lr*b:lr*b+nc])
 	}
-	e.P.Compute(count)
+	e.P.Compute(a.RMap.B * nc)
 	e.finishReduce(v, piece, e.G.ColMask(), replicate, op)
+	e.P.Recycle(piece)
 	return v
 }
 
@@ -80,11 +69,13 @@ func (e *Env) finishReduce(v *Vector, piece []float64, mask int, replicate bool,
 	if replicate {
 		res := collective.AllReduce(e.P, mask, e.NextTag2(), piece, op.combiner())
 		copy(v.L(pid), res)
+		e.P.Recycle(res)
 		return
 	}
 	res := collective.Reduce(e.P, mask, e.NextTag(), 0, piece, op.combiner())
 	if res != nil {
 		copy(v.L(pid), res)
+		e.P.Recycle(res)
 	}
 }
 
@@ -95,25 +86,39 @@ func (e *Env) ReduceAll(a *Matrix, op Op) float64 {
 	pid := e.P.ID()
 	blk := a.L(pid)
 	b := a.CMap.B
-	myRow, myCol := e.GridRow(), e.GridCol()
+	nr := a.RMap.ValidCount(e.GridRow())
+	nc := a.CMap.ValidCount(e.GridCol())
 	acc := op.identity()
-	count := 0
-	for lr := 0; lr < a.RMap.B; lr++ {
-		if a.RMap.GlobalOf(myRow, lr) < 0 {
-			continue
-		}
-		row := blk[lr*b : (lr+1)*b]
-		for lc, val := range row {
-			if a.CMap.GlobalOf(myCol, lc) < 0 {
-				continue
-			}
-			acc = op.fold(acc, val)
-			count++
-		}
+	for lr := 0; lr < nr; lr++ {
+		acc = foldSlice(op, acc, blk[lr*b:lr*b+nc])
 	}
-	e.P.Compute(count)
-	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{acc}, op.combiner())
-	return res[0]
+	e.P.Compute(nr * nc)
+	out := e.allReduceScalar(acc, op.combiner())
+	return out
+}
+
+// allReduceScalar rides a one-word all-reduce over the whole cube on
+// pooled buffers.
+func (e *Env) allReduceScalar(x float64, comb collective.Combiner) float64 {
+	buf := e.P.GetBuf(1)
+	buf[0] = x
+	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), buf, comb)
+	out := res[0]
+	e.P.Recycle(res)
+	e.P.Recycle(buf)
+	return out
+}
+
+// allReducePair is allReduceScalar for the (value, index) pairs of the
+// loc-reductions.
+func (e *Env) allReducePair(val, idx float64, comb collective.Combiner) (float64, float64) {
+	buf := e.P.GetBuf(2)
+	buf[0], buf[1] = val, idx
+	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), buf, comb)
+	v, i := res[0], res[1]
+	e.P.Recycle(res)
+	e.P.Recycle(buf)
+	return v, i
 }
 
 // ReduceColLoc finds op over column j restricted to rows [lo, hi),
@@ -133,25 +138,27 @@ func (e *Env) ReduceColLoc(a *Matrix, j, lo, hi int, op LocOp) (float64, int) {
 		lc := a.CMap.LocalOf(j)
 		b := a.CMap.B
 		myRow := e.GridRow()
-		count := 0
-		for lr := 0; lr < a.RMap.B; lr++ {
-			gi := a.RMap.GlobalOf(myRow, lr)
-			if gi < lo || gi >= hi {
-				continue
+		// Global rows in [lo, hi) occupy the contiguous local window
+		// [l0, l1); walk it with an incremental global index.
+		l0, l1 := a.RMap.LocalRange(myRow, lo, hi)
+		if l0 < l1 {
+			gi := a.RMap.GlobalOf(myRow, l0)
+			stride := a.RMap.GlobalStride()
+			for lr := l0; lr < l1; lr++ {
+				v := op.value(blk[lr*b+lc])
+				if op.better(val, idx, v, float64(gi)) {
+					val, idx = v, float64(gi)
+				}
+				gi += stride
 			}
-			v := op.value(blk[lr*b+lc])
-			if op.better(val, idx, v, float64(gi)) {
-				val, idx = v, float64(gi)
-			}
-			count++
 		}
-		e.P.Compute(count)
+		e.P.Compute(l1 - l0)
 	}
-	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{val, idx}, op.combiner())
-	if res[1] >= locNone {
-		return res[0], -1
+	rv, ri := e.allReducePair(val, idx, op.combiner())
+	if ri >= locNone {
+		return rv, -1
 	}
-	return res[0], int(res[1])
+	return rv, int(ri)
 }
 
 // ReduceRowLoc finds op over row i restricted to columns [lo, hi),
@@ -168,25 +175,26 @@ func (e *Env) ReduceRowLoc(a *Matrix, i, lo, hi int, op LocOp) (float64, int) {
 		lr := a.RMap.LocalOf(i)
 		b := a.CMap.B
 		myCol := e.GridCol()
-		count := 0
-		for lc := 0; lc < b; lc++ {
-			gj := a.CMap.GlobalOf(myCol, lc)
-			if gj < lo || gj >= hi {
-				continue
+		l0, l1 := a.CMap.LocalRange(myCol, lo, hi)
+		if l0 < l1 {
+			gj := a.CMap.GlobalOf(myCol, l0)
+			stride := a.CMap.GlobalStride()
+			row := blk[lr*b : (lr+1)*b]
+			for lc := l0; lc < l1; lc++ {
+				v := op.value(row[lc])
+				if op.better(val, idx, v, float64(gj)) {
+					val, idx = v, float64(gj)
+				}
+				gj += stride
 			}
-			v := op.value(blk[lr*b+lc])
-			if op.better(val, idx, v, float64(gj)) {
-				val, idx = v, float64(gj)
-			}
-			count++
 		}
-		e.P.Compute(count)
+		e.P.Compute(l1 - l0)
 	}
-	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{val, idx}, op.combiner())
-	if res[1] >= locNone {
-		return res[0], -1
+	rv, ri := e.allReducePair(val, idx, op.combiner())
+	if ri >= locNone {
+		return rv, -1
 	}
-	return res[0], int(res[1])
+	return rv, int(ri)
 }
 
 // ZipLocVec reduces over two co-located vectors: for each index g in
@@ -205,28 +213,25 @@ func (e *Env) ZipLocVec(v, w *Vector, lo, hi int, f func(g int, a, b float64) (f
 	if v.HoldsData(pid) && w.HoldsData(pid) && e.isCanonicalHolder(v) {
 		pv, pw := v.L(pid), w.L(pid)
 		c := v.PieceCoord(pid)
-		count := 0
-		for l := 0; l < v.Map.B; l++ {
-			g := v.Map.GlobalOf(c, l)
-			if g < lo || g >= hi {
-				continue
-			}
-			cand, ok := f(g, pv[l], pw[l])
-			count++
-			if !ok {
-				continue
-			}
-			if op.better(val, idx, op.value(cand), float64(g)) {
-				val, idx = op.value(cand), float64(g)
+		l0, l1 := v.Map.LocalRange(c, lo, hi)
+		if l0 < l1 {
+			g := v.Map.GlobalOf(c, l0)
+			stride := v.Map.GlobalStride()
+			for l := l0; l < l1; l++ {
+				cand, ok := f(g, pv[l], pw[l])
+				if ok && op.better(val, idx, op.value(cand), float64(g)) {
+					val, idx = op.value(cand), float64(g)
+				}
+				g += stride
 			}
 		}
-		e.P.Compute(2 * count)
+		e.P.Compute(2 * (l1 - l0))
 	}
-	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{val, idx}, op.combiner())
-	if res[1] >= locNone {
-		return res[0], -1
+	rv, ri := e.allReducePair(val, idx, op.combiner())
+	if ri >= locNone {
+		return rv, -1
 	}
-	return res[0], int(res[1])
+	return rv, int(ri)
 }
 
 // isCanonicalHolder reports whether this processor is the designated
@@ -253,19 +258,11 @@ func (e *Env) ReduceVec(v *Vector, op Op) float64 {
 	acc := op.identity()
 	if v.HoldsData(pid) && e.isCanonicalHolder(v) {
 		pv := v.L(pid)
-		c := v.PieceCoord(pid)
-		count := 0
-		for l := 0; l < v.Map.B; l++ {
-			if v.Map.GlobalOf(c, l) < 0 {
-				continue
-			}
-			acc = op.fold(acc, pv[l])
-			count++
-		}
-		e.P.Compute(count)
+		nv := v.Map.ValidCount(v.PieceCoord(pid))
+		acc = foldSlice(op, acc, pv[:nv])
+		e.P.Compute(nv)
 	}
-	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{acc}, op.combiner())
-	return res[0]
+	return e.allReduceScalar(acc, op.combiner())
 }
 
 // AllReduceRowsPiece all-reduces a local row-aligned piece (one value

@@ -39,6 +39,7 @@ func (e *Env) Distribute(v *Vector) *Vector {
 	}
 	piece := e.bcastBest(mask, rootRel, src, v.Map.B)
 	copy(out.L(pid), piece)
+	e.P.Recycle(piece)
 	return out
 }
 

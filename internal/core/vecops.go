@@ -23,19 +23,11 @@ func (e *Env) DotVec(v, w *Vector) float64 {
 	acc := 0.0
 	if v.HoldsData(pid) && w.HoldsData(pid) && e.isCanonicalHolder(v) {
 		pv, pw := v.L(pid), w.L(pid)
-		c := v.PieceCoord(pid)
-		count := 0
-		for l := range pv {
-			if v.Map.GlobalOf(c, l) < 0 {
-				continue
-			}
-			acc += pv[l] * pw[l]
-			count += 2
-		}
-		e.P.Compute(count)
+		nv := v.Map.ValidCount(v.PieceCoord(pid))
+		acc = dotSlices(pv[:nv], pw[:nv])
+		e.P.Compute(2 * nv)
 	}
-	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{acc}, collective.Sum)
-	return res[0]
+	return e.allReduceScalar(acc, collective.Sum)
 }
 
 // Norm2Vec returns the Euclidean norm of v, replicated everywhere.
@@ -50,33 +42,38 @@ func (e *Env) NormInfVec(v *Vector) float64 {
 	acc := 0.0
 	if v.HoldsData(pid) && e.isCanonicalHolder(v) {
 		pv := v.L(pid)
-		c := v.PieceCoord(pid)
-		count := 0
-		for l := range pv {
-			if v.Map.GlobalOf(c, l) < 0 {
-				continue
-			}
-			if a := math.Abs(pv[l]); a > acc {
+		nv := v.Map.ValidCount(v.PieceCoord(pid))
+		for _, x := range pv[:nv] {
+			if a := math.Abs(x); a > acc {
 				acc = a
 			}
-			count++
 		}
-		e.P.Compute(count)
+		e.P.Compute(nv)
 	}
-	res := collective.AllReduce(e.P, e.P.FullMask(), e.NextTag(), []float64{acc}, collective.Max)
-	return res[0]
+	return e.allReduceScalar(acc, collective.Max)
 }
 
 // AddScaledVec applies dst[g] += alpha * src[g] on the common holders
-// (the AXPY of iterative solvers; 2 flops per element).
+// (the AXPY of iterative solvers; 2 flops per element), fused into a
+// monomorphic loop over the valid prefix.
 func (e *Env) AddScaledVec(dst *Vector, alpha float64, src *Vector) {
-	e.ZipVec(dst, src, func(a, b float64) float64 { return a + alpha*b }, 2)
+	dp, sp, nv, ok := e.zipSlices(dst, src)
+	if !ok {
+		return
+	}
+	axpyInto(dp[:nv], sp[:nv], alpha)
+	e.P.Compute(2 * nv)
 }
 
 // ScaleAddVec applies dst[g] = beta*dst[g] + src[g] (the p-update of
-// conjugate gradient).
+// conjugate gradient), fused like AddScaledVec.
 func (e *Env) ScaleAddVec(dst *Vector, beta float64, src *Vector) {
-	e.ZipVec(dst, src, func(a, b float64) float64 { return beta*a + b }, 2)
+	dp, sp, nv, ok := e.zipSlices(dst, src)
+	if !ok {
+		return
+	}
+	scaleAddInto(dp[:nv], sp[:nv], beta)
+	e.P.Compute(2 * nv)
 }
 
 // ScanVec returns the inclusive prefix combination of v under op,
@@ -105,18 +102,11 @@ func (e *Env) ScanVec(v *Vector, op Op) *Vector {
 	}
 	pv := out.L(pid)
 	c := v.PieceCoord(pid)
-	// Local inclusive scan, tracking the piece total.
-	total := op.identity()
-	count := 0
-	for l := range pv {
-		if v.Map.GlobalOf(c, l) < 0 {
-			continue
-		}
-		total = op.fold(total, pv[l])
-		pv[l] = total
-		count++
-	}
-	e.P.Compute(count)
+	// Local inclusive scan of the valid prefix, tracking the piece
+	// total.
+	nv := v.Map.ValidCount(c)
+	total := scanSlice(op, pv[:nv])
+	e.P.Compute(nv)
 	if mask == 0 {
 		return out
 	}
@@ -129,19 +119,18 @@ func (e *Env) ScanVec(v *Vector, op Op) *Vector {
 	// Gray-decoded positions instead. AllGather the totals and fold
 	// locally: for lg p pieces of one word this costs the same
 	// k*(tau + small) as a scan and keeps coordinate order trivially.
-	totals := collective.AllGather(e.P, mask, tag, []float64{total})
+	tbuf := e.P.GetBuf(1)
+	tbuf[0] = total
+	totals := collective.AllGather(e.P, mask, tag, tbuf)
 	prefix := op.identity()
 	for coord := 0; coord < c; coord++ {
 		prefix = op.fold(prefix, totals[e.relOfCoord(v, coord)])
 	}
+	e.P.Recycle(totals)
+	e.P.Recycle(tbuf)
 	e.P.Compute(c)
 	if c > 0 {
-		for l := range pv {
-			if v.Map.GlobalOf(c, l) < 0 {
-				continue
-			}
-			pv[l] = op.fold(prefix, pv[l])
-		}
+		foldScalarInto(op, pv[:nv], prefix)
 		e.P.Compute(v.Map.B)
 	}
 	return out

@@ -204,6 +204,72 @@ func (m Map1D) GlobalOf(coord, local int) int {
 	return e
 }
 
+// ValidCount returns the number of non-padding local slots at coord.
+// Both map kinds assign global indices in increasing order of local
+// offset, so the valid slots always form the prefix
+// [0, ValidCount(coord)); kernels use this to run tight unguarded
+// loops instead of testing GlobalOf per element.
+func (m Map1D) ValidCount(coord int) int {
+	if coord < 0 || coord >= m.Coords() {
+		panic(fmt.Sprintf("embed: coordinate %d out of [0,%d)", coord, m.Coords()))
+	}
+	if m.B == 0 {
+		return 0
+	}
+	if m.Kind == Cyclic {
+		if coord >= m.N {
+			return 0
+		}
+		return min(m.B, (m.N-coord+m.Coords()-1)>>m.K)
+	}
+	return max(0, min(m.B, m.N-coord*m.B))
+}
+
+// LocalRange returns the half-open interval [l0, l1) of local slots at
+// coord whose global indices fall in [lo, hi). For both map kinds the
+// matching slots are contiguous: Block globals are coord*B + l, Cyclic
+// globals are l*2^K + coord, both strictly increasing in l. Restricted
+// elementwise updates loop over this interval with no per-element
+// bounds tests. lo and hi must satisfy 0 <= lo <= hi <= N.
+func (m Map1D) LocalRange(coord, lo, hi int) (l0, l1 int) {
+	if coord < 0 || coord >= m.Coords() {
+		panic(fmt.Sprintf("embed: coordinate %d out of [0,%d)", coord, m.Coords()))
+	}
+	if lo < 0 || hi < lo || hi > m.N {
+		panic(fmt.Sprintf("embed: range [%d,%d) out of [0,%d]", lo, hi, m.N))
+	}
+	if m.Kind == Cyclic {
+		c := m.Coords()
+		if lo > coord {
+			l0 = (lo - coord + c - 1) / c
+		}
+		if hi > coord {
+			l1 = (hi - coord + c - 1) / c
+		}
+	} else {
+		base := coord * m.B
+		l0 = min(max(lo-base, 0), m.B)
+		l1 = min(max(hi-base, 0), m.B)
+	}
+	l0 = min(l0, m.B)
+	l1 = min(l1, m.B)
+	if l1 < l0 {
+		l1 = l0
+	}
+	return l0, l1
+}
+
+// GlobalStride returns the difference between the global indices of
+// consecutive local slots: 1 for Block maps, 2^K for Cyclic. Together
+// with GlobalOf(coord, l0) it lets loops carry the global index
+// incrementally.
+func (m Map1D) GlobalStride() int {
+	if m.Kind == Cyclic {
+		return m.Coords()
+	}
+	return 1
+}
+
 func (m Map1D) check(e int) {
 	if e < 0 || e >= m.N {
 		panic(fmt.Sprintf("embed: index %d out of [0,%d)", e, m.N))

@@ -1,0 +1,123 @@
+package embed
+
+import "testing"
+
+// The fused kernels in internal/core rely on the valid-prefix property
+// of Map1D: for both kinds, valid elements occupy local offsets
+// 0..ValidCount(coord)-1 with globals strictly increasing by
+// GlobalStride. These tests cross-check ValidCount, LocalRange, and
+// GlobalStride exhaustively against the GlobalOf definition.
+
+func prefixMaps(t *testing.T, n int) []Map1D {
+	t.Helper()
+	var ms []Map1D
+	for k := 0; k <= 5; k++ {
+		for _, kind := range []MapKind{Block, Cyclic} {
+			m, err := NewMap1D(n, k, kind)
+			if err != nil {
+				t.Fatalf("NewMap1D(%d,%d,%v): %v", n, k, kind, err)
+			}
+			ms = append(ms, m)
+		}
+	}
+	return ms
+}
+
+func TestValidCountMatchesGlobalOf(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 16, 17, 31, 32} {
+		for _, m := range prefixMaps(t, n) {
+			for coord := 0; coord < m.Coords(); coord++ {
+				// Count by definition, and require the valid slots
+				// to be a prefix of the local block.
+				count := 0
+				prefix := true
+				for l := 0; l < m.B; l++ {
+					if g := m.GlobalOf(coord, l); g >= 0 && g < n {
+						if !prefix {
+							t.Fatalf("n=%d %v k=%d coord=%d: valid slot %d after invalid one",
+								n, m.Kind, m.K, coord, l)
+						}
+						count++
+					} else {
+						prefix = false
+					}
+				}
+				if got := m.ValidCount(coord); got != count {
+					t.Fatalf("n=%d %v k=%d: ValidCount(%d) = %d, want %d",
+						n, m.Kind, m.K, coord, got, count)
+				}
+			}
+		}
+	}
+}
+
+func TestGlobalStrideMatchesGlobalOf(t *testing.T) {
+	for _, n := range []int{1, 5, 16, 17, 31, 32} {
+		for _, m := range prefixMaps(t, n) {
+			s := m.GlobalStride()
+			for coord := 0; coord < m.Coords(); coord++ {
+				nv := m.ValidCount(coord)
+				for l := 1; l < nv; l++ {
+					if m.GlobalOf(coord, l)-m.GlobalOf(coord, l-1) != s {
+						t.Fatalf("n=%d %v k=%d coord=%d: stride at %d != %d",
+							n, m.Kind, m.K, coord, l, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLocalRangeMatchesGlobalOf(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 16, 17, 31, 32} {
+		for _, m := range prefixMaps(t, n) {
+			for coord := 0; coord < m.Coords(); coord++ {
+				for lo := 0; lo <= n; lo++ {
+					for hi := lo; hi <= n; hi++ {
+						l0, l1 := m.LocalRange(coord, lo, hi)
+						// Reference: the set of locals whose global
+						// lands in [lo, hi).
+						r0, r1 := -1, -1
+						for l := 0; l < m.B; l++ {
+							g := m.GlobalOf(coord, l)
+							if g >= lo && g < hi {
+								if r0 < 0 {
+									r0 = l
+								}
+								r1 = l + 1
+							}
+						}
+						if r0 < 0 { // empty window
+							if l0 != l1 {
+								t.Fatalf("n=%d %v k=%d coord=%d [%d,%d): got [%d,%d), want empty",
+									n, m.Kind, m.K, coord, lo, hi, l0, l1)
+							}
+							continue
+						}
+						if l0 != r0 || l1 != r1 {
+							t.Fatalf("n=%d %v k=%d coord=%d [%d,%d): got [%d,%d), want [%d,%d)",
+								n, m.Kind, m.K, coord, lo, hi, l0, l1, r0, r1)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLocalRangePanicsOnBadBounds(t *testing.T) {
+	m, err := NewMap1D(16, 2, Block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ lo, hi int }{{-1, 4}, {4, 3}, {0, 17}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("LocalRange(0, %d, %d) did not panic", tc.lo, tc.hi)
+				}
+			}()
+			m.LocalRange(0, tc.lo, tc.hi)
+		}()
+	}
+}

@@ -9,7 +9,10 @@
 // literature it builds on (Ho & Johnsson).
 package gray
 
-import "math/bits"
+import (
+	"math/bits"
+	"sync"
+)
 
 // Encode returns the binary-reflected Gray code of i: g = i XOR (i >> 1).
 // Successive integers map to codes at Hamming distance one.
@@ -75,12 +78,22 @@ func OnesCount(x int) int {
 // Dims returns the indices of the set bits of mask in increasing
 // order. Collectives iterate over subcube dimension masks this way.
 func Dims(mask int) []int {
+	if cached, ok := dimsCache.Load(mask); ok {
+		return cached.([]int)
+	}
 	ds := make([]int, 0, bits.OnesCount(uint(mask)))
 	for m := mask; m != 0; m &= m - 1 {
 		ds = append(ds, bits.TrailingZeros(uint(m)))
 	}
+	dimsCache.Store(mask, ds)
 	return ds
 }
+
+// dimsCache memoizes Dims per mask: collectives call it on every
+// invocation with a handful of distinct masks, so the cache makes the
+// hot path allocation-free. Cached slices are shared — callers must
+// treat the result as read-only (all in-tree callers do).
+var dimsCache sync.Map
 
 // Spread distributes the low bits of x into the set-bit positions of
 // mask, lowest bit first. It is the inverse of Compact and maps a

@@ -24,6 +24,7 @@ package hypercube
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -50,6 +51,12 @@ type message struct {
 // Machine is a simulated hypercube multiprocessor. Construct it with
 // New, then execute SPMD programs with Run. A Machine is reusable: Run
 // may be called any number of times, sequentially.
+//
+// The machine keeps one worker goroutine per processor alive across
+// Run calls (spawned lazily on the first Run), so benchmark loops and
+// multi-phase applications that Run once per step do not pay goroutine
+// spawn and teardown for every call. The workers exit when Close is
+// called or, failing that, when the Machine is garbage collected.
 type Machine struct {
 	dim    int
 	p      int
@@ -60,6 +67,11 @@ type Machine struct {
 
 	recvTimeout time.Duration
 
+	// procs are the persistent per-processor handles, reset and reused
+	// by every Run.
+	procs []*Proc
+	eng   *engine
+
 	mu         sync.Mutex
 	elapsed    costmodel.Time
 	stats      Stats
@@ -67,6 +79,39 @@ type Machine struct {
 	traceLimit int
 	trace      []TraceEvent
 }
+
+// engine is the persistent worker pool. It is a separate object so the
+// worker goroutines hold no reference to the Machine: when the Machine
+// becomes unreachable its finalizer closes stop and the workers exit,
+// instead of pinning the Machine alive forever.
+type engine struct {
+	work []chan *runCtx // one slot per worker, buffered 1
+	stop chan struct{}
+}
+
+// runCtx carries one Run invocation to the workers.
+type runCtx struct {
+	body  func(*Proc)
+	procs []*Proc
+	abort chan struct{}
+	errs  chan procError
+
+	wg        sync.WaitGroup
+	abortOnce sync.Once
+}
+
+// linkCap returns the buffer capacity of each link channel for a cube
+// of dimension dim. The invariant that sizes it: collectives are built
+// from matched exchange phases in which each directed link carries at
+// most one message before the partner receives, so capacity 1 already
+// guarantees deadlock freedom. Capacity above that only controls how
+// far a fast processor may pipeline ahead of a slow neighbor on one
+// link without parking its goroutine; a full-cube collective issues at
+// most one message per link per step and has O(dim) steps, so a small
+// multiple of dim absorbs a whole collective of run-ahead. Beyond the
+// buffer the sender blocks, which throttles host-side pipelining but
+// never affects simulated time.
+func linkCap(dim int) int { return 4 * (dim + 1) }
 
 // Stats aggregates communication and arithmetic counters over one Run.
 type Stats struct {
@@ -102,15 +147,19 @@ func New(dim int, params costmodel.Params) (*Machine, error) {
 		params:      params,
 		in:          make([][]chan message, p),
 		recvTimeout: DefaultRecvTimeout,
+		procs:       make([]*Proc, p),
+		clocks:      make([]costmodel.Time, p),
 	}
 	for pid := 0; pid < p; pid++ {
 		chans := make([]chan message, dim)
 		for d := 0; d < dim; d++ {
 			// Buffered so that matched exchange phases (both sides
-			// send, then both receive) never block on the send.
-			chans[d] = make(chan message, 64)
+			// send, then both receive) never block on the send; see
+			// linkCap for how the capacity is derived.
+			chans[d] = make(chan message, linkCap(dim))
 		}
 		m.in[pid] = chans
+		m.procs[pid] = &Proc{m: m, id: pid}
 	}
 	return m, nil
 }
@@ -177,32 +226,34 @@ type procError struct {
 // error with the processor id. Run drains all links afterwards so the
 // machine is clean for the next program.
 func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
-	procs := make([]*Proc, m.p)
-	abort := make(chan struct{})
-	errs := make(chan procError, m.p)
-	var wg sync.WaitGroup
-	var abortOnce sync.Once
-
-	for pid := 0; pid < m.p; pid++ {
-		procs[pid] = &Proc{m: m, id: pid, abort: abort}
-		wg.Add(1)
-		go func(pr *Proc) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs <- procError{pid: pr.id, val: r}
-					abortOnce.Do(func() { close(abort) })
-				}
-			}()
-			body(pr)
-		}(procs[pid])
+	m.ensureEngine()
+	rc := &runCtx{
+		body:  body,
+		procs: m.procs,
+		abort: make(chan struct{}),
+		errs:  make(chan procError, m.p),
 	}
-	wg.Wait()
-	close(errs)
+	rc.wg.Add(m.p)
+	for pid := 0; pid < m.p; pid++ {
+		pr := m.procs[pid]
+		pr.clock = 0
+		pr.nMsgs, pr.nWords, pr.nFlops = 0, 0, 0
+		pr.abort = rc.abort
+		pr.trace = pr.trace[:0]
+		if pr.timerArmed {
+			// Disarm the watchdog between runs so a timeout changed via
+			// SetRecvTimeout takes effect at the next arming.
+			pr.timer.Stop()
+			pr.timerArmed = false
+		}
+		m.eng.work[pid] <- rc
+	}
+	rc.wg.Wait()
+	close(rc.errs)
 
 	var firstErr error
 	perrs := make([]procError, 0)
-	for pe := range errs {
+	for pe := range rc.errs {
 		perrs = append(perrs, pe)
 	}
 	sort.Slice(perrs, func(i, j int) bool { return perrs[i].pid < perrs[j].pid })
@@ -219,9 +270,9 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 
 	var elapsed costmodel.Time
 	var st Stats
-	clocks := make([]costmodel.Time, len(procs))
-	for i, pr := range procs {
-		clocks[i] = pr.clock
+	m.mu.Lock()
+	for i, pr := range m.procs {
+		m.clocks[i] = pr.clock
 		if pr.clock > elapsed {
 			elapsed = pr.clock
 		}
@@ -229,15 +280,70 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 		st.Words += pr.nWords
 		st.Flops += pr.nFlops
 	}
-	m.mu.Lock()
 	m.elapsed = elapsed
 	m.stats = st
-	m.clocks = clocks
 	m.mu.Unlock()
-	m.collectTrace(procs)
+	m.collectTrace(m.procs)
 
 	m.drain()
 	return elapsed, firstErr
+}
+
+// ensureEngine lazily starts the persistent worker pool and arms the
+// garbage-collection backstop that shuts it down.
+func (m *Machine) ensureEngine() {
+	if m.eng != nil {
+		return
+	}
+	eng := &engine{
+		work: make([]chan *runCtx, m.p),
+		stop: make(chan struct{}),
+	}
+	for pid := 0; pid < m.p; pid++ {
+		eng.work[pid] = make(chan *runCtx, 1)
+		go worker(pid, eng.work[pid], eng.stop)
+	}
+	m.eng = eng
+	runtime.SetFinalizer(m, (*Machine).Close)
+}
+
+// worker is the persistent goroutine of one processor. It deliberately
+// closes over only its channels, never the Machine (see engine).
+func worker(pid int, work chan *runCtx, stop chan struct{}) {
+	for {
+		select {
+		case rc := <-work:
+			runBody(pid, rc)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// runBody executes one processor's share of a Run with the same panic
+// containment the seed's per-run goroutines had.
+func runBody(pid int, rc *runCtx) {
+	defer rc.wg.Done()
+	defer func() {
+		if r := recover(); r != nil {
+			rc.errs <- procError{pid: pid, val: r}
+			rc.abortOnce.Do(func() { close(rc.abort) })
+		}
+	}()
+	rc.body(rc.procs[pid])
+}
+
+// Close shuts down the persistent worker goroutines. It is optional —
+// an unreachable Machine is cleaned up by the garbage collector — and
+// idempotent, but Run must not be called after Close.
+func (m *Machine) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.eng != nil {
+		close(m.eng.stop)
+		m.eng = nil
+		runtime.SetFinalizer(m, nil)
+	}
 }
 
 // drain empties every link channel (messages left behind by an aborted
@@ -245,16 +351,29 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 func (m *Machine) drain() {
 	for pid := range m.in {
 		for d := range m.in[pid] {
-			for {
+			ch := m.in[pid][d]
+			for drained := false; !drained; {
 				select {
-				case <-m.in[pid][d]:
+				case <-ch:
 				default:
-					goto next
+					drained = true
 				}
 			}
-		next:
 		}
 	}
+}
+
+// linksEmpty reports whether every link channel is empty; tests use it
+// to assert that drain left the machine clean.
+func (m *Machine) linksEmpty() bool {
+	for pid := range m.in {
+		for d := range m.in[pid] {
+			if len(m.in[pid][d]) != 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // abortedError is the panic value used when a processor is cancelled
@@ -264,7 +383,9 @@ type abortedError struct{}
 func (abortedError) Error() string { return "aborted by sibling failure" }
 
 // Proc is one simulated processor's handle, valid only inside the body
-// passed to Run and only on that processor's goroutine.
+// passed to Run and only on that processor's goroutine. Procs are
+// persistent: the machine reuses them (and their buffer pools) across
+// runs.
 type Proc struct {
 	m     *Machine
 	id    int
@@ -275,7 +396,32 @@ type Proc struct {
 	nWords int64
 	nFlops int64
 	trace  []TraceEvent
+
+	pool bufPool
+
+	// Deadlock watchdog state. The timer is armed at most once per
+	// timeout window (not per blocking Recv): recvSeq counts delivered
+	// messages and timerSeq records its value at arming, so a fire with
+	// progress in between just re-arms. Busy steady-state runs touch
+	// the timer heap only once per window.
+	timer      *time.Timer
+	timerArmed bool
+	recvSeq    uint64
+	timerSeq   uint64
 }
+
+// GetBuf returns a scratch buffer of length n from this processor's
+// pool, with arbitrary contents: the caller must fully overwrite it
+// before reading. Pair with Recycle for allocation-free steady state.
+func (p *Proc) GetBuf(n int) []float64 { return p.pool.get(n) }
+
+// Recycle returns a buffer to this processor's pool. The caller must
+// own buf and must not touch it afterwards; recycling a payload that is
+// still referenced elsewhere (still in flight, or retained by another
+// holder) corrupts later messages. Collectives recycle the payloads
+// they consume; payloads returned to application code are the
+// application's to keep or recycle.
+func (p *Proc) Recycle(buf []float64) { p.pool.put(buf) }
 
 // ID returns this processor's cube address in [0, P).
 func (p *Proc) ID() int { return p.id }
@@ -326,9 +472,11 @@ func (p *Proc) Send(d, tag int, words []float64) {
 }
 
 // post enqueues a copy of words on the neighbor's inbound link with
-// the given arrival time.
+// the given arrival time. The copy comes from the sender's buffer pool
+// and is recycled into the receiver's pool once the receiver consumes
+// it.
 func (p *Proc) post(d, tag int, words []float64, arrive costmodel.Time) {
-	cp := make([]float64, len(words))
+	cp := p.pool.get(len(words))
 	copy(cp, words)
 	p.nMsgs++
 	p.nWords += int64(len(words))
@@ -352,19 +500,47 @@ func (p *Proc) post(d, tag int, words []float64, arrive costmodel.Time) {
 func (p *Proc) Recv(d, wantTag int) []float64 {
 	p.checkDim(d)
 	var msg message
+	ch := p.m.in[p.id][d]
 	select {
-	case msg = <-p.m.in[p.id][d]:
+	case msg = <-ch:
 	case <-p.abort:
 		panic(abortedError{})
 	default:
-		select {
-		case msg = <-p.m.in[p.id][d]:
-		case <-p.abort:
-			panic(abortedError{})
-		case <-time.After(p.m.recvTimeout):
-			panic(fmt.Sprintf("recv timeout on dim %d (tag %d): deadlock", d, wantTag))
+		// Slow path: wait under the deadlock watchdog. The go directive
+		// is >= 1.23, so Stop/Reset leave no stale fire in the timer
+		// channel. The timer is not stopped on a successful receive; a
+		// later fire that finds progress (recvSeq advanced past
+		// timerSeq) re-arms and keeps waiting, so a genuine deadlock is
+		// reported within two timeout windows while the steady state
+		// pays no per-Recv timer traffic.
+		for {
+			if !p.timerArmed {
+				if p.timer == nil {
+					p.timer = time.NewTimer(p.m.recvTimeout)
+				} else {
+					p.timer.Reset(p.m.recvTimeout)
+				}
+				p.timerArmed = true
+				p.timerSeq = p.recvSeq
+			}
+			fired := false
+			select {
+			case msg = <-ch:
+			case <-p.abort:
+				panic(abortedError{})
+			case <-p.timer.C:
+				p.timerArmed = false
+				if p.recvSeq == p.timerSeq {
+					panic(fmt.Sprintf("recv timeout on dim %d (tag %d): deadlock", d, wantTag))
+				}
+				fired = true
+			}
+			if !fired {
+				break
+			}
 		}
 	}
+	p.recvSeq++
 	if msg.tag != wantTag {
 		panic(fmt.Sprintf("tag mismatch on dim %d: got %d, want %d", d, msg.tag, wantTag))
 	}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Pre-PR gate: formatting, vet, build, full tests under the race
+# detector (which also exercises the steady-state allocation guards in
+# internal/hypercube and internal/core). Run from the repository root:
+#
+#	./scripts/check.sh
+#
+# Simulated results are deterministic, so any table change this script
+# surfaces is a real behavioral change, not noise.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$fmt" >&2
+	exit 1
+fi
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/...
+
+echo "check.sh: all clean"
