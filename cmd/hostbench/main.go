@@ -34,6 +34,17 @@ type result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	SimUsPerOp  float64 `json:"sim_us_per_op"`
 	Iterations  int     `json:"iterations"`
+	// Sim holds the per-processor mean virtual-time buckets of the
+	// last run, present only under -profile (which also makes the
+	// ns/op column measure the profiler's own host overhead).
+	Sim *simBuckets `json:"sim_buckets,omitempty"`
+}
+
+type simBuckets struct {
+	ComputeUs  float64 `json:"compute_us"`
+	StartupUs  float64 `json:"startup_us"`
+	TransferUs float64 `json:"transfer_us"`
+	IdleUs     float64 `json:"idle_us"`
 }
 
 type report struct {
@@ -53,6 +64,7 @@ func main() {
 	benchtime := flag.String("benchtime", "2s", "per-benchmark measuring time (testing -benchtime syntax)")
 	out := flag.String("o", "", "output JSON path (default stdout)")
 	label := flag.String("label", "", "free-form label recorded in the report")
+	prof := flag.Bool("profile", false, "run with the virtual-time profiler on and record sim bucket splits (also measures profiler host overhead)")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -66,6 +78,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer m.Close()
+	if *prof {
+		m.EnableProfile(true)
+	}
 	g := embed.SplitFor(*dim, *n, *n)
 	a, err := core.FromDense(g, bench.RandMat(1, *n, *n), embed.Block, embed.Block)
 	if err != nil {
@@ -126,6 +141,18 @@ func main() {
 			BytesPerOp:  br.AllocedBytesPerOp(),
 			SimUsPerOp:  float64(sim),
 			Iterations:  br.N,
+		}
+		if *prof {
+			if pf := m.Profile(); pf != nil {
+				inv := 1 / float64(pf.P)
+				b := pf.Root.Buckets
+				r.Sim = &simBuckets{
+					ComputeUs:  float64(b.Compute) * inv,
+					StartupUs:  float64(b.Startup) * inv,
+					TransferUs: float64(b.Transfer) * inv,
+					IdleUs:     float64(b.Idle) * inv,
+				}
+			}
 		}
 		fmt.Fprintf(os.Stderr, "%-14s %10d ns/op %8d allocs/op %10d B/op %12.1f sim-us/op\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.SimUsPerOp)

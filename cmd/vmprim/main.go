@@ -1,17 +1,24 @@
 // Command vmprim regenerates the tables and figures of the
 // reconstructed SPAA 1989 evaluation (see DESIGN.md and
-// EXPERIMENTS.md).
+// EXPERIMENTS.md) and profiles representative runs.
 //
 // Usage:
 //
 //	vmprim -list             list experiment ids
 //	vmprim -exp E3           run one experiment and print its table
 //	vmprim -exp all          run every experiment (several minutes)
+//	vmprim -exp E3 -json     print the table as JSON
+//	vmprim -profile E4       profile a representative run: span tree on
+//	                         stdout, Chrome trace JSON to
+//	                         vmprim-trace-e4.json (load in Perfetto)
+//	vmprim -profile E1 -json machine-readable profile on stdout
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
@@ -21,7 +28,10 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
-	exp := flag.String("exp", "", "experiment id to run (E1..E5, F1..F3, A1..A3, or 'all')")
+	exp := flag.String("exp", "", "experiment id to run (E1..E5, F1..F3, A1..A4, X1..X3, or 'all')")
+	profile := flag.String("profile", "", "profile a representative run of an experiment (E1..E5)")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	traceOut := flag.String("trace-out", "", "Chrome trace output path for -profile (default vmprim-trace-<id>.json, '-' to skip)")
 	flag.Parse()
 
 	switch {
@@ -29,12 +39,17 @@ func main() {
 		for _, e := range bench.All() {
 			fmt.Printf("%-3s  %s\n", e.ID, e.Title)
 		}
+	case *profile != "":
+		if err := runProfile(*profile, *jsonOut, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *profile, err)
+			os.Exit(1)
+		}
 	case *exp == "":
 		flag.Usage()
 		os.Exit(2)
 	case strings.EqualFold(*exp, "all"):
 		for _, e := range bench.All() {
-			if err := runOne(e); err != nil {
+			if err := runOne(e, *jsonOut); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 				os.Exit(1)
 			}
@@ -45,20 +60,82 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", *exp)
 			os.Exit(2)
 		}
-		if err := runOne(e); err != nil {
+		if err := runOne(e, *jsonOut); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 	}
 }
 
-func runOne(e bench.Experiment) error {
+func runOne(e bench.Experiment, jsonOut bool) error {
 	start := time.Now()
 	t, err := e.Run()
 	if err != nil {
 		return err
 	}
+	if jsonOut {
+		return writeTableJSON(os.Stdout, t)
+	}
 	t.Fprint(os.Stdout)
 	fmt.Printf("  [host time %v]\n\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeTableJSON emits one experiment table as a JSON object, for
+// scripted consumption of the evaluation tables.
+func writeTableJSON(w io.Writer, t *bench.Table) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID      string     `json:"id"`
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+		Notes   string     `json:"notes,omitempty"`
+	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes})
+}
+
+// runProfile executes the experiment's representative workload with
+// the profiler on, prints the span tree (or profile JSON), and writes
+// the Chrome trace next to the working directory.
+func runProfile(id string, jsonOut bool, traceOut string) error {
+	res, err := bench.ProfileRun(id, true)
+	if err != nil {
+		return err
+	}
+	pf := res.Profile
+	if err := pf.Check(); err != nil {
+		return fmt.Errorf("profile invariants violated: %w", err)
+	}
+	if jsonOut {
+		if err := pf.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("%s — %s\n", res.ID, res.Desc)
+		for i, tt := range res.Times {
+			fmt.Printf("  run %d: %.1f simulated us\n", i+1, float64(tt))
+		}
+		fmt.Println()
+		pf.WriteTree(os.Stdout)
+	}
+	if traceOut == "-" {
+		return nil
+	}
+	if traceOut == "" {
+		traceOut = fmt.Sprintf("vmprim-trace-%s.json", strings.ToLower(res.ID))
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		return err
+	}
+	if err := pf.ChromeTrace(f, 0); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote Chrome trace to %s (open in Perfetto or chrome://tracing)\n", traceOut)
 	return nil
 }

@@ -12,7 +12,7 @@ func TestRunOnePrintsTable(t *testing.T) {
 	if !ok {
 		t.Fatal("F1 missing")
 	}
-	if err := runOne(e); err != nil {
+	if err := runOne(e, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -21,7 +21,7 @@ func TestRunOneSurfacesErrors(t *testing.T) {
 	bad := bench.Experiment{ID: "ZZ", Title: "broken", Run: func() (*bench.Table, error) {
 		return nil, errTest
 	}}
-	if err := runOne(bad); err == nil {
+	if err := runOne(bad, false); err == nil {
 		t.Fatal("error swallowed")
 	}
 }

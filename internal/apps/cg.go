@@ -95,6 +95,8 @@ func SolveCG(m *hypercube.Machine, a *serial.Mat, b []float64, opts CGOpts) (CGR
 	var res CGResult
 	elapsed, err := m.Run(func(p *hypercube.Proc) {
 		e := core.NewEnv(p, g)
+		e.BeginSpan("cg")
+		defer e.EndSpan()
 		x := e.TempVector(n, core.RowAligned, opts.Kind, 0, true) // x0 = 0
 		r := e.CopyVec(rb)                                        // r0 = b
 		z := e.CopyVec(r)
@@ -105,18 +107,26 @@ func SolveCG(m *hypercube.Machine, a *serial.Mat, b []float64, opts CGOpts) (CGR
 		resid := e.Norm2Vec(r)
 		for iters < opts.MaxIter && resid > opts.Tol {
 			// q = A p (col-aligned), realigned to the iterate layout.
+			e.BeginSpan("matvec")
 			qc := MatVecKernel(e, da, pv)
 			q := e.Realign(qc, core.RowAligned, opts.Kind, 0, true)
+			e.EndSpan()
+			e.BeginSpan("update")
 			alpha := rz / e.DotVec(pv, q)
 			e.AddScaledVec(x, alpha, pv)
 			e.AddScaledVec(r, -alpha, q)
+			e.EndSpan()
+			e.BeginSpan("precond")
 			z = e.CopyVec(r)
 			e.ZipVec(z, dinv, func(ri, di float64) float64 { return ri * di }, 1)
+			e.EndSpan()
+			e.BeginSpan("update")
 			rzNew := e.DotVec(r, z)
 			beta := rzNew / rz
 			rz = rzNew
 			e.ScaleAddVec(pv, beta, z)
 			resid = e.Norm2Vec(r)
+			e.EndSpan()
 			iters++
 		}
 		e.StoreVec(xOut, x)

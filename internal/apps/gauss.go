@@ -48,18 +48,24 @@ func GaussKernel(e *core.Env, w *core.Matrix, xOut *core.Vector) error {
 	if w.Cols != n+1 {
 		panic(fmt.Sprintf("apps: GaussKernel needs an n x n+1 augmented matrix, got %dx%d", w.Rows, w.Cols))
 	}
+	e.BeginSpan("gauss")
+	defer e.EndSpan()
 	// Forward elimination.
 	for k := 0; k < n; k++ {
 		// Pivot search: Reduce(maxabsloc) over column k, rows [k, n).
+		e.BeginSpan("pivot")
 		mag, piv := e.ReduceColLoc(w, k, k, n, core.LocMaxAbs)
 		if piv < 0 || mag <= pivotEps {
+			e.EndSpan()
 			return fmt.Errorf("apps: singular matrix at step %d", k)
 		}
 		if piv != k {
 			e.SwapRows(w, k, piv) // Extract x2, Insert x2
 		}
+		e.EndSpan()
 		// Pivot row and multiplier column, both replicated (Extract +
 		// Distribute fused).
+		e.BeginSpan("eliminate")
 		prow := e.ExtractRow(w, k, true)
 		pivot := e.VecElemAt(prow, k)
 		mcol := e.ExtractCol(w, k, true)
@@ -73,11 +79,14 @@ func GaussKernel(e *core.Env, w *core.Matrix, xOut *core.Vector) error {
 		// Rank-1 elementwise update of the active submatrix. Column k
 		// is included so the eliminated entries become exact zeros.
 		e.UpdateOuterSub(w, mcol, prow, k+1, n, k, n+1)
+		e.EndSpan()
 	}
 
 	// Back substitution: x_k = w[k][n] / w[k][k], then eliminate
 	// column k from the right-hand sides of rows above: one Extract +
 	// Distribute of column k and a single-column elementwise update.
+	e.BeginSpan("back-substitute")
+	defer e.EndSpan()
 	ones := e.TempVector(n+1, core.RowAligned, w.CMap.Kind, 0, true)
 	e.MapVec(ones, func(int, float64) float64 { return 1 }, 0)
 	for k := n - 1; k >= 0; k-- {

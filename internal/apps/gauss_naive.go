@@ -21,6 +21,8 @@ func GaussKernelNaive(e *core.Env, w *core.Matrix, xOut *core.Vector) error {
 	if w.Cols != n+1 {
 		panic(fmt.Sprintf("apps: GaussKernelNaive needs an n x n+1 matrix, got %dx%d", w.Rows, w.Cols))
 	}
+	e.BeginSpan("gauss(naive)")
+	defer e.EndSpan()
 	pid := e.P.ID()
 	blk := w.L(pid)
 	b := w.CMap.B

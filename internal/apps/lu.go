@@ -50,7 +50,10 @@ func LUFactor(mach *hypercube.Machine, a *serial.Mat, opts GaussOpts) (*LU, erro
 	}
 	elapsed, err := mach.Run(func(p *hypercube.Proc) {
 		e := core.NewEnv(p, g)
+		e.BeginSpan("lu-factor")
+		defer e.EndSpan()
 		for k := 0; k < n; k++ {
+			e.BeginSpan("pivot")
 			mag, piv := e.ReduceColLoc(w, k, k, n, core.LocMaxAbs)
 			if piv < 0 || mag <= pivotEps {
 				panic(fmt.Errorf("apps: singular matrix at step %d", k))
@@ -61,6 +64,8 @@ func LUFactor(mach *hypercube.Machine, a *serial.Mat, opts GaussOpts) (*LU, erro
 					perm[k], perm[piv] = perm[piv], perm[k]
 				}
 			}
+			e.EndSpan()
+			e.BeginSpan("eliminate")
 			prow := e.ExtractRow(w, k, true)
 			pivot := e.VecElemAt(prow, k)
 			inv := 1 / pivot
@@ -88,6 +93,7 @@ func LUFactor(mach *hypercube.Machine, a *serial.Mat, opts GaussOpts) (*LU, erro
 				return mi
 			}, 1)
 			e.InsertCol(w, lcol, k)
+			e.EndSpan()
 		}
 	})
 	if err != nil {
@@ -139,8 +145,11 @@ func (lu *LU) Solve(b []float64) ([]float64, costmodel.Time, error) {
 	w := lu.w
 	elapsed, err := lu.mach.Run(func(p *hypercube.Proc) {
 		e := core.NewEnv(p, lu.g)
+		e.BeginSpan("lu-solve")
+		defer e.EndSpan()
 		// Forward substitution with unit-diagonal L:
 		// y_i -= L[i][k] * y_k for i > k.
+		e.BeginSpan("forward-sub")
 		for k := 0; k < n-1; k++ {
 			yk := e.VecElemAt(y, k)
 			lcol := e.ExtractCol(w, k, true)
@@ -151,6 +160,9 @@ func (lu *LU) Solve(b []float64) ([]float64, costmodel.Time, error) {
 				return yi - lik*yk
 			}, 2)
 		}
+		e.EndSpan()
+		e.BeginSpan("back-substitute")
+		defer e.EndSpan()
 		// Back substitution with U: x_k = y_k / U[k][k], then
 		// y_i -= U[i][k] * x_k for i < k. The owner of U[k][k] also
 		// holds the replicated y, so one scalar broadcast carries the

@@ -78,6 +78,8 @@ func VecMatKernel(e *core.Env, a *core.Matrix, x *core.Vector, variant MatvecVar
 // user of the four primitives would: X <- Distribute(x); P <- X .* A;
 // y <- Reduce(P, rows, +).
 func vecMatPrimitive(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
+	e.BeginSpan("matvec(primitive)")
+	defer e.EndSpan()
 	xs := e.SpreadCols(x, a.Cols, a.CMap.Kind) // Distribute
 	e.ZipMatrix(xs, a, func(xi, aij float64) float64 { return xi * aij }, 1)
 	return e.ReduceRows(xs, core.OpSum, true) // Reduce
@@ -87,6 +89,8 @@ func vecMatPrimitive(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
 // reduction: the m/p-element local pass touches A once and allocates
 // nothing matrix-shaped.
 func vecMatFused(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
+	e.BeginSpan("matvec(fused)")
+	defer e.EndSpan()
 	xr := x
 	if !x.Replicated {
 		xr = e.Distribute(x)
@@ -98,6 +102,7 @@ func vecMatFused(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
 	piece := make([]float64, b)
 	myRow := e.GridRow()
 	count := 0
+	e.BeginSpan("local-mac")
 	for lr := 0; lr < a.RMap.B; lr++ {
 		if a.RMap.GlobalOf(myRow, lr) < 0 {
 			continue
@@ -110,6 +115,7 @@ func vecMatFused(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
 		count += 2 * b
 	}
 	e.P.Compute(count)
+	e.EndSpan()
 	// All-reduce the partial sums down the rows; every grid row gets y.
 	out := e.TempVector(a.Cols, core.RowAligned, a.CMap.Kind, 0, true)
 	sum := e.AllReduceRowsPiece(piece, core.OpSum)
@@ -161,6 +167,8 @@ func RunVecMat(m *hypercube.Machine, a *serial.Mat, x []float64, variant MatvecV
 // "global address space" code the paper's order-of-magnitude
 // comparison measures against.
 func vecMatNaive(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
+	e.BeginSpan("matvec(naive)")
+	defer e.EndSpan()
 	pid := e.P.ID()
 	g := e.G
 	myRow, myCol := e.GridRow(), e.GridCol()
@@ -172,6 +180,7 @@ func vecMatNaive(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
 	// across its local columns' worth of work — but one per (i) per
 	// processor is already the granularity a per-element program
 	// generates, since the elements of a local row share i).
+	e.BeginSpan("fetch-x")
 	var want []router.Msg
 	var rows []int
 	for lr := 0; lr < a.RMap.B; lr++ {
@@ -187,12 +196,14 @@ func vecMatNaive(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
 	got := router.Request(e.P, e.NextTag2(), want, func(key int) []float64 {
 		return []float64{xp[x.Map.LocalOf(key)]}
 	})
+	e.EndSpan()
 
 	// Compute partial products and route each to the owner of y_j in
 	// the vector's own linear embedding (spread over the whole
 	// machine, as a naive global-address-space program would keep it),
 	// one message per local element.
 	out := e.TempVector(a.Cols, core.Linear, a.CMap.Kind, 0, false)
+	e.BeginSpan("route-products")
 	var parts []router.Msg
 	flops := 0
 	for wi, lr := range rows {
@@ -214,6 +225,7 @@ func vecMatNaive(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
 		op[out.Map.LocalOf(msg.Key)] += msg.Words[0]
 	}
 	e.P.Compute(len(arrived))
+	e.EndSpan()
 	_ = myRow
 	return out
 }

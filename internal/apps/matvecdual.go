@@ -15,6 +15,8 @@ func MatVecKernel(e *core.Env, a *core.Matrix, x *core.Vector) *core.Vector {
 	if x.Layout != core.RowAligned || x.N != a.Cols || x.Map != a.CMap {
 		panic("apps: MatVecKernel needs a row-aligned x matching A's columns")
 	}
+	e.BeginSpan("matvec(dual)")
+	defer e.EndSpan()
 	xr := x
 	if !x.Replicated {
 		xr = e.Distribute(x)

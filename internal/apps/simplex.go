@@ -59,6 +59,8 @@ func SimplexKernelBland(e *core.Env, t *core.Matrix, nVars, maxIter int) (serial
 }
 
 func simplexLoop(e *core.Env, t *core.Matrix, nVars, maxIter int, bland bool) (serial.LPStatus, float64, int, []int) {
+	e.BeginSpan("simplex")
+	defer e.EndSpan()
 	m := t.Rows - 1
 	rhs := t.Cols - 1
 	basis := make([]int, m)
@@ -69,6 +71,7 @@ func simplexLoop(e *core.Env, t *core.Matrix, nVars, maxIter int, bland bool) (s
 	for {
 		// Entering variable: Dantzig takes the most negative reduced
 		// cost; Bland the smallest improving index.
+		e.BeginSpan("pricing")
 		var jc int
 		if bland {
 			obj := e.ExtractRow(t, m, true)
@@ -85,6 +88,7 @@ func simplexLoop(e *core.Env, t *core.Matrix, nVars, maxIter int, bland bool) (s
 				jc = -1
 			}
 		}
+		e.EndSpan()
 		if jc < 0 {
 			return serial.Optimal, e.ElemAt(t, m, rhs), iters, basis
 		}
@@ -93,6 +97,7 @@ func simplexLoop(e *core.Env, t *core.Matrix, nVars, maxIter int, bland bool) (s
 		}
 		// Ratio test: Extract the entering column and the rhs column,
 		// ZipLoc(minloc) over the guarded ratios.
+		e.BeginSpan("ratio-test")
 		col := e.ExtractCol(t, jc, true)
 		rhsv := e.ExtractCol(t, rhs, true)
 		ratio := func(_ int, aij, bi float64) (float64, bool) {
@@ -113,6 +118,7 @@ func simplexLoop(e *core.Env, t *core.Matrix, nVars, maxIter int, bland bool) (s
 				return float64(basis[g]), true
 			}, core.LocMin)
 		}
+		e.EndSpan()
 		if ir < 0 {
 			return serial.Unbounded, e.ElemAt(t, m, rhs), iters, basis
 		}
@@ -120,6 +126,7 @@ func simplexLoop(e *core.Env, t *core.Matrix, nVars, maxIter int, bland bool) (s
 		// the multiplier at the pivot row, rank-1 update everywhere
 		// else. Arithmetic matches serial.Pivot operation for
 		// operation.
+		e.BeginSpan("pivot")
 		pivot := e.VecElemAt(col, ir)
 		inv := 1 / pivot
 		prow := e.ExtractRow(t, ir, true)
@@ -133,6 +140,7 @@ func simplexLoop(e *core.Env, t *core.Matrix, nVars, maxIter int, bland bool) (s
 			return v
 		}, 1)
 		e.UpdateOuterSub(t, mult, prow, 0, m+1, 0, rhs+1)
+		e.EndSpan()
 		basis[ir] = jc
 		iters++
 	}

@@ -12,6 +12,8 @@ import (
 // rebroadcasts each decision as p separate messages; the pivot row and
 // entering column are spread one message per (element, destination).
 func SimplexKernelNaive(e *core.Env, t *core.Matrix, nVars, maxIter int) (serial.LPStatus, float64, int, []int) {
+	e.BeginSpan("simplex(naive)")
+	defer e.EndSpan()
 	m := t.Rows - 1
 	rhs := t.Cols - 1
 	pid := e.P.ID()

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"vmprim/internal/apps"
+	"vmprim/internal/core"
+	"vmprim/internal/costmodel"
+	"vmprim/internal/embed"
+	"vmprim/internal/hypercube"
+	"vmprim/internal/obs"
+)
+
+// Profiled experiment runs: one representative workload per evaluation
+// table, executed on a machine with the virtual-time profiler (and a
+// message trace, for the Chrome export's flow arrows) switched on.
+// The workloads reuse the E1–E5 seeds and parameter sets, so a
+// profiled run must reproduce the same simulated times as the plain
+// tables — the profiler only observes, never perturbs — and the
+// obs tests assert exactly that by running each workload with enable
+// set both ways.
+
+// profileTraceLimit bounds the per-processor message trace kept for
+// the Chrome export's flow events. Only processor 0 and its neighbors
+// are exported, so a modest bound suffices.
+const profileTraceLimit = 4096
+
+// ProfileResult is one profiled experiment workload.
+type ProfileResult struct {
+	// ID is the experiment id (E1..E5).
+	ID string
+	// Desc names the runs behind Times, in order.
+	Desc string
+	// Times holds the simulated elapsed time of every Run executed by
+	// the workload, in execution order. These are bit-identical with
+	// profiling on or off.
+	Times []costmodel.Time
+	// Profile is the profile of the last run, or nil when enable was
+	// false.
+	Profile *obs.Profile
+}
+
+// ProfileIDs lists the experiment ids ProfileRun accepts.
+func ProfileIDs() []string { return []string{"E1", "E2", "E3", "E4", "E5"} }
+
+// ProfileRun executes the representative workload of experiment id on
+// a fresh machine, with the profiler enabled or not, and returns the
+// simulated times of every run plus (when enabled) the profile of the
+// final run. The same seeds and machine parameters as the experiment
+// tables are used, so the times line up with EXPERIMENTS.md.
+func ProfileRun(id string, enable bool) (*ProfileResult, error) {
+	switch strings.ToUpper(id) {
+	case "E1":
+		return profileE1(enable)
+	case "E2":
+		return profileE2(enable)
+	case "E3":
+		return profileE3(enable)
+	case "E4":
+		return profileE4(enable)
+	case "E5":
+		return profileE5(enable)
+	default:
+		return nil, fmt.Errorf("bench: no profiled workload for %q (have %v)", id, ProfileIDs())
+	}
+}
+
+// newProfiledMachine builds the machine every profiled workload runs
+// on, with profiling and tracing armed when enable is set.
+func newProfiledMachine(d int, enable bool) (*hypercube.Machine, error) {
+	m, err := hypercube.New(d, costmodel.CM2())
+	if err != nil {
+		return nil, err
+	}
+	if enable {
+		m.EnableProfile(true)
+		m.EnableTrace(profileTraceLimit)
+	}
+	return m, nil
+}
+
+// finish assembles the result, pulling the machine's profile of the
+// most recent run when enabled.
+func finish(id, desc string, m *hypercube.Machine, enable bool, times ...costmodel.Time) *ProfileResult {
+	res := &ProfileResult{ID: id, Desc: desc, Times: times}
+	if enable {
+		res.Profile = m.Profile()
+	}
+	return res
+}
+
+// profileE1 exercises all four primitives back to back in a single
+// run on the E1 table's n=512, d=10 configuration.
+func profileE1(enable bool) (*ProfileResult, error) {
+	const d, n = 10, 512
+	m, err := newProfiledMachine(d, enable)
+	if err != nil {
+		return nil, err
+	}
+	g := embed.SplitFor(d, n, n)
+	a, err := core.FromDense(g, RandMat(100+int64(n), n, n), embed.Block, embed.Block)
+	if err != nil {
+		return nil, err
+	}
+	xv, err := core.VectorFromSlice(g, RandVec(200+int64(n), n), core.RowAligned, embed.Block, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	row := n / 2
+	elapsed, err := timedRun(m, g, func(e *core.Env) {
+		e.ExtractRow(a, row, true)
+		e.InsertRow(a, xv, row)
+		e.Distribute(xv)
+		e.ReduceRows(a, core.OpSum, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish("E1", "extract+insert+distribute+reduce, n=512, p=1024", m, enable, elapsed), nil
+}
+
+// profileE2 runs the E2 Reduce and Distribute pair at n=512 on the
+// d=8 machine.
+func profileE2(enable bool) (*ProfileResult, error) {
+	const d, n = 8, 512
+	m, err := newProfiledMachine(d, enable)
+	if err != nil {
+		return nil, err
+	}
+	g := embed.SplitFor(d, n, n)
+	a, err := core.FromDense(g, RandMat(300+int64(d), n, n), embed.Block, embed.Block)
+	if err != nil {
+		return nil, err
+	}
+	xv, err := core.VectorFromSlice(g, RandVec(400, n), core.RowAligned, embed.Block, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	elapsed, err := timedRun(m, g, func(e *core.Env) {
+		e.ReduceRows(a, core.OpSum, true)
+		e.SpreadRows(xv, n, embed.Block)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return finish("E2", "reduce+spread, n=512, p=256", m, enable, elapsed), nil
+}
+
+// profileE3 runs the three vector-matrix variants at n=512 on the
+// d=10 machine; the profile is of the last (naive) run, whose span
+// tree shows the router storm the primitives avoid.
+func profileE3(enable bool) (*ProfileResult, error) {
+	const d, n = 10, 512
+	m, err := newProfiledMachine(d, enable)
+	if err != nil {
+		return nil, err
+	}
+	a := RandMat(500+int64(n), n, n)
+	x := RandVec(600+int64(n), n)
+	var times []costmodel.Time
+	for _, variant := range []apps.MatvecVariant{apps.MatvecPrimitive, apps.MatvecFused, apps.MatvecNaive} {
+		_, elapsed, _, err := apps.RunVecMat(m, a, x, variant)
+		if err != nil {
+			return nil, err
+		}
+		times = append(times, elapsed)
+	}
+	return finish("E3", "matvec primitive, fused, naive, n=512, p=1024", m, enable, times...), nil
+}
+
+// profileE4 runs the E4 table's n=128 primitive-based Gaussian
+// elimination on the d=8 machine.
+func profileE4(enable bool) (*ProfileResult, error) {
+	const d, n = 8, 128
+	m, err := newProfiledMachine(d, enable)
+	if err != nil {
+		return nil, err
+	}
+	a, b := RandSystem(700+int64(n), n)
+	_, elapsed, err := apps.SolveGauss(m, a, b, apps.DefaultGaussOpts())
+	if err != nil {
+		return nil, err
+	}
+	return finish("E4", "gauss primitives, n=128, p=256", m, enable, elapsed), nil
+}
+
+// profileE5 runs the E5 table's 32x48 primitive-based simplex on the
+// d=8 machine.
+func profileE5(enable bool) (*ProfileResult, error) {
+	const d, rows, cols = 8, 32, 48
+	m, err := newProfiledMachine(d, enable)
+	if err != nil {
+		return nil, err
+	}
+	c, a, b := RandLP(800+int64(rows), rows, cols)
+	_, elapsed, err := apps.SolveSimplex(m, c, a, b, apps.DefaultSimplexOpts())
+	if err != nil {
+		return nil, err
+	}
+	return finish("E5", "simplex primitives, 32x48, p=256", m, enable, elapsed), nil
+}

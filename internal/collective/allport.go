@@ -23,6 +23,8 @@ import (
 // address rootRel using k rotated edge-disjoint binomial trees.
 // len(data) must be divisible by k (and may be zero).
 func BcastAllPort(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
+	p.BeginSpan("bcast-allport")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
@@ -129,6 +131,8 @@ func lenPieceZero(pieces [][]float64, r int) bool {
 // binomial tree's k*tau + k*n*t_c. Non-roots return nil. len(data)
 // must be divisible by k on every member.
 func ReduceAllPort(p *hypercube.Proc, mask, tag, rootRel int, data []float64, comb Combiner) []float64 {
+	p.BeginSpan("reduce-allport")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {

@@ -109,6 +109,8 @@ func subTag(tag, s int) int { return tag<<6 | s }
 // k = popcount(mask) communication steps of the full payload. Every
 // member returns its own copy (the root returns data itself).
 func Bcast(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
+	p.BeginSpan("bcast")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	k := len(ds)
 	r := rel(p, mask) ^ rootRel // address relative to the root
@@ -150,6 +152,8 @@ func Bcast(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 
 // about 2*k*tau + 2*n*t_c, beating Bcast's k*n*t_c once n*t_c >> tau.
 // len(data) must be divisible by 2^k.
 func BcastLarge(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
+	p.BeginSpan("bcast-large")
+	defer p.EndSpan()
 	k := gray.OnesCount(mask)
 	if k == 0 {
 		cp := make([]float64, len(data))
@@ -171,6 +175,8 @@ func BcastLarge(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []flo
 // It is the mirror image of Bcast: a binomial tree with combining at
 // every internal node.
 func Reduce(p *hypercube.Proc, mask, tag, rootRel int, data []float64, comb Combiner) []float64 {
+	p.BeginSpan("reduce")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	k := len(ds)
 	r := rel(p, mask) ^ rootRel
@@ -205,6 +211,8 @@ func Reduce(p *hypercube.Proc, mask, tag, rootRel int, data []float64, comb Comb
 // divisible by 2^k. Message sizes halve every step, which is the
 // source of the primitives' asymptotic work-optimality.
 func ReduceScatter(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) (piece []float64, offset int) {
+	p.BeginSpan("reduce-scatter")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
@@ -242,6 +250,8 @@ func ReduceScatter(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 // address: member r's input occupies the r-th slot. All pieces must
 // have equal length (checked during the exchanges).
 func AllGather(p *hypercube.Proc, mask, tag int, piece []float64) []float64 {
+	p.BeginSpan("all-gather")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	r := rel(p, mask)
 	buf := p.GetBuf(len(piece))
@@ -273,6 +283,8 @@ func AllGather(p *hypercube.Proc, mask, tag int, piece []float64) []float64 {
 // about 2n words instead of k*n. The switch point is where the
 // modelled costs cross.
 func AllReduce(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) []float64 {
+	p.BeginSpan("all-reduce")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
@@ -308,6 +320,8 @@ func AllReduce(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) 
 // with relative address rootRel, ordered by relative address; the root
 // returns the assembled vector, everyone else nil.
 func Gather(p *hypercube.Proc, mask, tag, rootRel int, piece []float64) []float64 {
+	p.BeginSpan("gather")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	k := len(ds)
 	r := rel(p, mask) ^ rootRel
@@ -363,6 +377,8 @@ func Gather(p *hypercube.Proc, mask, tag, rootRel int, piece []float64) []float6
 // relative address r receives the r-th of 2^k equal slices. Only the
 // root's data argument is consulted; len must be divisible by 2^k.
 func Scatter(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
+	p.BeginSpan("scatter")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
@@ -444,6 +460,8 @@ func Scatter(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float6
 // payloads must have equal length. The pairwise-exchange algorithm
 // moves half of the local volume in each of the k steps.
 func AllToAll(p *hypercube.Proc, mask, tag int, out [][]float64) [][]float64 {
+	p.BeginSpan("all-to-all")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if len(out) != 1<<k {
@@ -489,6 +507,8 @@ func AllToAll(p *hypercube.Proc, mask, tag int, out [][]float64) [][]float64 {
 // classic hypercube prefix algorithm: k exchange steps carrying the
 // running subcube total alongside the prefix.
 func ScanInclusive(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) []float64 {
+	p.BeginSpan("scan")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	r := rel(p, mask)
 	prefix := p.GetBuf(len(data))
@@ -514,6 +534,8 @@ func ScanInclusive(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 // identity (which the caller supplies, since the combiner's identity
 // is not known here).
 func ScanExclusive(p *hypercube.Proc, mask, tag int, data, identity []float64, comb Combiner) []float64 {
+	p.BeginSpan("scan-exclusive")
+	defer p.EndSpan()
 	ds := gray.Dims(mask)
 	r := rel(p, mask)
 	prefix := p.GetBuf(len(identity))

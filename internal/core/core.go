@@ -78,6 +78,21 @@ func (e *Env) NextTag2() int {
 	return t
 }
 
+// BeginSpan opens a named profiling span (see hypercube.Proc.BeginSpan).
+// Spans nest; close each with EndSpan. Like every Env operation they
+// are SPMD: all processors must open and close the same spans in the
+// same order. App drivers use them to mark algorithm phases (pivot,
+// eliminate, pricing, ...); every primitive below opens one
+// automatically.
+func (e *Env) BeginSpan(name string) { e.P.BeginSpan(name) }
+
+// EndSpan closes the innermost open span.
+func (e *Env) EndSpan() { e.P.EndSpan() }
+
+// Profiling reports whether spans are being recorded; guard SpanNote
+// string building with it.
+func (e *Env) Profiling() bool { return e.P.Profiling() }
+
 // GridRow returns this processor's grid row.
 func (e *Env) GridRow() int { return e.G.RowOf(e.P.ID()) }
 

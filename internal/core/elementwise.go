@@ -11,6 +11,8 @@ import "fmt"
 // MapRange applies f in place to every element a[i][j] with
 // rlo <= i < rhi and clo <= j < chi. f receives global indices.
 func (e *Env) MapRange(a *Matrix, rlo, rhi, clo, chi int, f func(i, j int, v float64) float64, flopsPer int) {
+	e.BeginSpan("map-range")
+	defer e.EndSpan()
 	if rlo < 0 || rhi > a.Rows || clo < 0 || chi > a.Cols {
 		panic(fmt.Sprintf("core: MapRange [%d,%d)x[%d,%d) out of %dx%d", rlo, rhi, clo, chi, a.Rows, a.Cols))
 	}
@@ -50,6 +52,8 @@ func (e *Env) MapMatrix(a *Matrix, f func(i, j int, v float64) float64, flopsPer
 // ZipMatrix applies dst[i][j] = f(dst[i][j], src[i][j]) in place; the
 // matrices must share shape, grid and maps so the blocks align.
 func (e *Env) ZipMatrix(dst, src *Matrix, f func(a, b float64) float64, flopsPer int) {
+	e.BeginSpan("zip-matrix")
+	defer e.EndSpan()
 	if !dst.SameShape(src) {
 		panic("core: ZipMatrix shape/embedding mismatch")
 	}
@@ -77,6 +81,8 @@ func (e *Env) ZipMatrix(dst, src *Matrix, f func(a, b float64) float64, flopsPer
 // of the paper's Gaussian elimination and simplex updates). The
 // default f for elimination is a - c*r at 2 flops per element.
 func (e *Env) UpdateOuter(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int, f func(aij, ci, rj float64) float64, flopsPer int) {
+	e.BeginSpan("update-outer")
+	defer e.EndSpan()
 	blk, cvp, rvp, lr0, lr1, lc0, lc1, b := e.outerWindows(a, cv, rv, rlo, rhi, clo, chi)
 	for lr := lr0; lr < lr1; lr++ {
 		ci := cvp[lr]
@@ -94,6 +100,8 @@ func (e *Env) UpdateOuter(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int, f f
 // monomorphic multiply-subtract with no closure call, the hot kernel
 // of Gaussian elimination, LU and simplex pivoting.
 func (e *Env) UpdateOuterSub(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int) {
+	e.BeginSpan("update-outer-sub")
+	defer e.EndSpan()
 	blk, cvp, rvp, lr0, lr1, lc0, lc1, b := e.outerWindows(a, cv, rv, rlo, rhi, clo, chi)
 	for lr := lr0; lr < lr1; lr++ {
 		subOuterRow(blk[lr*b+lc0:lr*b+lc1], cvp[lr], rvp[lc0:lc1])
@@ -105,6 +113,8 @@ func (e *Env) UpdateOuterSub(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int) 
 // a[i][j] += cv[i]*rv[j] (2 flops per element): the rank-1 step of
 // the broadcast matrix multiply.
 func (e *Env) UpdateOuterAddMul(a *Matrix, cv, rv *Vector, rlo, rhi, clo, chi int) {
+	e.BeginSpan("update-outer-addmul")
+	defer e.EndSpan()
 	blk, cvp, rvp, lr0, lr1, lc0, lc1, b := e.outerWindows(a, cv, rv, rlo, rhi, clo, chi)
 	for lr := lr0; lr < lr1; lr++ {
 		addMulOuterRow(blk[lr*b+lc0:lr*b+lc1], cvp[lr], rvp[lc0:lc1])

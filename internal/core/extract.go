@@ -18,6 +18,8 @@ import (
 // Extract-then-Distribute fused into one call, costing a binomial
 // broadcast of the m/p-sized local pieces over the dr row dimensions.
 func (e *Env) ExtractRow(a *Matrix, i int, replicate bool) *Vector {
+	e.BeginSpan("extract-row")
+	defer e.EndSpan()
 	if i < 0 || i >= a.Rows {
 		panic(fmt.Sprintf("core: ExtractRow index %d out of [0,%d)", i, a.Rows))
 	}
@@ -48,6 +50,8 @@ func (e *Env) ExtractRow(a *Matrix, i int, replicate bool) *Vector {
 // ExtractCol pulls column j out of the matrix as a col-aligned vector,
 // symmetric to ExtractRow.
 func (e *Env) ExtractCol(a *Matrix, j int, replicate bool) *Vector {
+	e.BeginSpan("extract-col")
+	defer e.EndSpan()
 	if j < 0 || j >= a.Cols {
 		panic(fmt.Sprintf("core: ExtractCol index %d out of [0,%d)", j, a.Cols))
 	}
@@ -82,6 +86,8 @@ func (e *Env) ExtractCol(a *Matrix, j int, replicate bool) *Vector {
 // All subcube members must call it; it returns the data at toRel (and
 // at fromRel if fromRel == toRel) and nil elsewhere.
 func (e *Env) sendAlong(mask, fromRel, toRel int, data []float64) []float64 {
+	e.BeginSpan("shift")
+	defer e.EndSpan()
 	myRel := gray.Compact(e.P.ID(), mask)
 	if fromRel == toRel {
 		if myRel == fromRel {
@@ -127,6 +133,8 @@ func (e *Env) sendAlong(mask, fromRel, toRel int, data []float64) []float64 {
 // home row to the owner row first (an embedding change the primitive
 // performs implicitly, as the paper describes).
 func (e *Env) InsertRow(a *Matrix, v *Vector, i int) {
+	e.BeginSpan("insert-row")
+	defer e.EndSpan()
 	if i < 0 || i >= a.Rows {
 		panic(fmt.Sprintf("core: InsertRow index %d out of [0,%d)", i, a.Rows))
 	}
@@ -164,6 +172,8 @@ func (e *Env) InsertRow(a *Matrix, v *Vector, i int) {
 // InsertCol stores a col-aligned vector as column j of the matrix,
 // symmetric to InsertRow.
 func (e *Env) InsertCol(a *Matrix, v *Vector, j int) {
+	e.BeginSpan("insert-col")
+	defer e.EndSpan()
 	if j < 0 || j >= a.Cols {
 		panic(fmt.Sprintf("core: InsertCol index %d out of [0,%d)", j, a.Cols))
 	}
@@ -204,6 +214,8 @@ func (e *Env) InsertCol(a *Matrix, v *Vector, j int) {
 // SwapRows exchanges matrix rows i1 and i2, composed from Extract and
 // Insert exactly as a user of the primitives would write it.
 func (e *Env) SwapRows(a *Matrix, i1, i2 int) {
+	e.BeginSpan("swap-rows")
+	defer e.EndSpan()
 	if i1 == i2 {
 		return
 	}
@@ -216,6 +228,8 @@ func (e *Env) SwapRows(a *Matrix, i1, i2 int) {
 // ElemAt reads element (i, j) and replicates it to every processor
 // (a one-word broadcast over the whole cube from the owner).
 func (e *Env) ElemAt(a *Matrix, i, j int) float64 {
+	e.BeginSpan("elem-at")
+	defer e.EndSpan()
 	if i < 0 || i >= a.Rows || j < 0 || j >= a.Cols {
 		panic(fmt.Sprintf("core: ElemAt (%d,%d) out of %dx%d", i, j, a.Rows, a.Cols))
 	}
@@ -250,6 +264,8 @@ func (e *Env) SetElem(a *Matrix, i, j int, val float64) {
 // VecElemAt reads element idx of a vector and replicates it to every
 // processor.
 func (e *Env) VecElemAt(v *Vector, idx int) float64 {
+	e.BeginSpan("vec-elem-at")
+	defer e.EndSpan()
 	if idx < 0 || idx >= v.N {
 		panic(fmt.Sprintf("core: VecElemAt %d out of [0,%d)", idx, v.N))
 	}

@@ -20,6 +20,8 @@ import (
 // 0. The local pass costs one operation per local element, the
 // communication lg(p_r) messages of the m/p-sized local piece.
 func (e *Env) ReduceRows(a *Matrix, op Op, replicate bool) *Vector {
+	e.BeginSpan("reduce-rows")
+	defer e.EndSpan()
 	v := e.TempVector(a.Cols, RowAligned, a.CMap.Kind, 0, replicate)
 	pid := e.P.ID()
 	blk := a.L(pid)
@@ -43,6 +45,8 @@ func (e *Env) ReduceRows(a *Matrix, op Op, replicate bool) *Vector {
 // returned as a col-aligned vector (on grid column 0 unless
 // replicated).
 func (e *Env) ReduceCols(a *Matrix, op Op, replicate bool) *Vector {
+	e.BeginSpan("reduce-cols")
+	defer e.EndSpan()
 	v := e.TempVector(a.Rows, ColAligned, a.RMap.Kind, 0, replicate)
 	pid := e.P.ID()
 	blk := a.L(pid)
@@ -83,6 +87,8 @@ func (e *Env) finishReduce(v *Vector, piece []float64, mask int, replicate bool,
 // replicated on all processors: a local fold followed by a one-word
 // all-reduce over the whole cube.
 func (e *Env) ReduceAll(a *Matrix, op Op) float64 {
+	e.BeginSpan("reduce-all")
+	defer e.EndSpan()
 	pid := e.P.ID()
 	blk := a.L(pid)
 	b := a.CMap.B
@@ -128,6 +134,8 @@ func (e *Env) allReducePair(val, idx float64, comb collective.Combiner) (float64
 // folds its local elements, then one pair rides a full-cube
 // all-reduce.
 func (e *Env) ReduceColLoc(a *Matrix, j, lo, hi int, op LocOp) (float64, int) {
+	e.BeginSpan("reduce-col-loc")
+	defer e.EndSpan()
 	if j < 0 || j >= a.Cols {
 		panic(fmt.Sprintf("core: ReduceColLoc column %d out of [0,%d)", j, a.Cols))
 	}
@@ -165,6 +173,8 @@ func (e *Env) ReduceColLoc(a *Matrix, j, lo, hi int, op LocOp) (float64, int) {
 // returning the winning value and its global column index, replicated
 // everywhere: the simplex entering-variable test.
 func (e *Env) ReduceRowLoc(a *Matrix, i, lo, hi int, op LocOp) (float64, int) {
+	e.BeginSpan("reduce-row-loc")
+	defer e.EndSpan()
 	if i < 0 || i >= a.Rows {
 		panic(fmt.Sprintf("core: ReduceRowLoc row %d out of [0,%d)", i, a.Rows))
 	}
@@ -205,6 +215,8 @@ func (e *Env) ReduceRowLoc(a *Matrix, i, lo, hi int, op LocOp) (float64, int) {
 // side, f the guarded ratio (Bland-style rules use g to key candidates
 // by basis variable).
 func (e *Env) ZipLocVec(v, w *Vector, lo, hi int, f func(g int, a, b float64) (float64, bool), op LocOp) (float64, int) {
+	e.BeginSpan("zip-loc-vec")
+	defer e.EndSpan()
 	if !v.SameShape(w) {
 		panic("core: ZipLocVec vectors have different shapes")
 	}
@@ -254,6 +266,8 @@ func (e *Env) isCanonicalHolder(v *Vector) bool {
 // ReduceVec folds all elements of a vector to a scalar, replicated on
 // every processor.
 func (e *Env) ReduceVec(v *Vector, op Op) float64 {
+	e.BeginSpan("reduce-vec")
+	defer e.EndSpan()
 	pid := e.P.ID()
 	acc := op.identity()
 	if v.HoldsData(pid) && e.isCanonicalHolder(v) {

@@ -73,6 +73,11 @@ func (e *Env) ownedVecItems(v *Vector) []remapItem {
 // unchanged. One routed personalized communication moves every element
 // to its new owner; replication, if requested, adds a Distribute.
 func (e *Env) Realign(v *Vector, layout Layout, kind embed.MapKind, home int, replicated bool) *Vector {
+	e.BeginSpan("realign")
+	defer e.EndSpan()
+	if e.Profiling() {
+		e.P.SpanNote(v.Layout.String() + "->" + layout.String())
+	}
 	out := e.TempVector(v.N, layout, kind, home, false)
 	items := e.ownedVecItems(v)
 	dstOf := func(g int) int {
@@ -113,6 +118,8 @@ func (e *Env) ToLinear(v *Vector) *Vector {
 // transposed owner — the classic hypercube matrix transposition as an
 // embedding change.
 func (e *Env) TransposeInto(dst, a *Matrix) {
+	e.BeginSpan("transpose")
+	defer e.EndSpan()
 	if dst.Rows != a.Cols || dst.Cols != a.Rows || dst.G != a.G {
 		panic(fmt.Sprintf("core: TransposeInto dst %dx%d incompatible with src %dx%d",
 			dst.Rows, dst.Cols, a.Rows, a.Cols))

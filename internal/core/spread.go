@@ -20,6 +20,11 @@ func (e *Env) Distribute(v *Vector) *Vector {
 	if v.Layout == Linear {
 		panic("core: Distribute needs an aligned vector (convert with AlignRows/AlignCols)")
 	}
+	e.BeginSpan("distribute")
+	defer e.EndSpan()
+	if e.Profiling() {
+		e.P.SpanNote("replicate " + v.Layout.String())
+	}
 	out := e.TempVector(v.N, v.Layout, v.Map.Kind, v.Home, true)
 	pid := e.P.ID()
 	if v.Replicated {
@@ -67,6 +72,8 @@ func (e *Env) bcastBest(mask, rootRel int, src []float64, length int) []float64 
 // (vector-matrix multiply as Distribute, elementwise multiply,
 // Reduce). Row map kind follows rkind.
 func (e *Env) SpreadRows(v *Vector, rows int, rkind embed.MapKind) *Matrix {
+	e.BeginSpan("spread-rows")
+	defer e.EndSpan()
 	if v.Layout != RowAligned {
 		panic("core: SpreadRows needs a row-aligned vector")
 	}
@@ -89,6 +96,8 @@ func (e *Env) SpreadRows(v *Vector, rows int, rkind embed.MapKind) *Matrix {
 // SpreadCols materializes a col-aligned vector as a matrix with the
 // given number of columns, every one of which equals v.
 func (e *Env) SpreadCols(v *Vector, cols int, ckind embed.MapKind) *Matrix {
+	e.BeginSpan("spread-cols")
+	defer e.EndSpan()
 	if v.Layout != ColAligned {
 		panic("core: SpreadCols needs a col-aligned vector")
 	}

@@ -16,6 +16,8 @@ import (
 // replicated on every processor: local partial products on the
 // canonical holders, then a one-word all-reduce over the cube.
 func (e *Env) DotVec(v, w *Vector) float64 {
+	e.BeginSpan("dot")
+	defer e.EndSpan()
 	if !v.SameShape(w) {
 		panic("core: DotVec shape mismatch")
 	}
@@ -38,6 +40,8 @@ func (e *Env) Norm2Vec(v *Vector) float64 {
 // NormInfVec returns the maximum magnitude of v, replicated
 // everywhere.
 func (e *Env) NormInfVec(v *Vector) float64 {
+	e.BeginSpan("norm-inf")
+	defer e.EndSpan()
 	pid := e.P.ID()
 	acc := 0.0
 	if v.HoldsData(pid) && e.isCanonicalHolder(v) {
@@ -85,6 +89,8 @@ func (e *Env) ScaleAddVec(dst *Vector, beta float64, src *Vector) {
 // over the owning coordinate sequence — only Block maps preserve
 // contiguous piece ranges, so ScanVec requires a Block map.
 func (e *Env) ScanVec(v *Vector, op Op) *Vector {
+	e.BeginSpan("scan-vec")
+	defer e.EndSpan()
 	if v.Map.Kind != embed.Block {
 		panic("core: ScanVec requires a block (consecutive) element map")
 	}

@@ -31,6 +31,7 @@ import (
 
 	"vmprim/internal/costmodel"
 	"vmprim/internal/gray"
+	"vmprim/internal/obs"
 )
 
 // DefaultRecvTimeout bounds how long a processor waits for a message
@@ -78,6 +79,14 @@ type Machine struct {
 	clocks     []costmodel.Time
 	traceLimit int
 	trace      []TraceEvent
+
+	// Profiling state (see profile.go): profEnabled gates the span
+	// machinery for the next Run, profile holds the last profiled
+	// run's result. vols caches LinkVolumes' per-link word map, built
+	// lazily from the always-on counters and invalidated by Run.
+	profEnabled bool
+	profile     *obs.Profile
+	vols        map[int]map[int]int
 }
 
 // engine is the persistent worker pool. It is a separate object so the
@@ -159,7 +168,7 @@ func New(dim int, params costmodel.Params) (*Machine, error) {
 			chans[d] = make(chan message, linkCap(dim))
 		}
 		m.in[pid] = chans
-		m.procs[pid] = &Proc{m: m, id: pid}
+		m.procs[pid] = &Proc{m: m, id: pid, linkWords: make([]int64, dim)}
 	}
 	return m, nil
 }
@@ -238,6 +247,14 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 		pr := m.procs[pid]
 		pr.clock = 0
 		pr.nMsgs, pr.nWords, pr.nFlops = 0, 0, 0
+		pr.tComp, pr.tStart, pr.tXfer = 0, 0, 0
+		for d := range pr.linkWords {
+			pr.linkWords[d] = 0
+		}
+		pr.prof = m.profEnabled
+		if pr.prof || len(pr.ps.nodes) > 0 {
+			pr.ps.reset()
+		}
 		pr.abort = rc.abort
 		pr.trace = pr.trace[:0]
 		if pr.timerArmed {
@@ -282,8 +299,17 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 	}
 	m.elapsed = elapsed
 	m.stats = st
+	m.vols = nil // link counters changed; LinkVolumes rebuilds lazily
 	m.mu.Unlock()
 	m.collectTrace(m.procs)
+
+	var prof *obs.Profile
+	if m.profEnabled && firstErr == nil {
+		prof = m.buildProfile()
+	}
+	m.mu.Lock()
+	m.profile = prof
+	m.mu.Unlock()
 
 	m.drain()
 	return elapsed, firstErr
@@ -331,6 +357,7 @@ func runBody(pid int, rc *runCtx) {
 		}
 	}()
 	rc.body(rc.procs[pid])
+	rc.procs[pid].checkSpansClosed()
 }
 
 // Close shuts down the persistent worker goroutines. It is optional —
@@ -397,6 +424,18 @@ type Proc struct {
 	nFlops int64
 	trace  []TraceEvent
 
+	// Always-on attribution counters: the clock split into compute /
+	// start-up / transfer (idle is derived as clock minus their sum),
+	// and the words posted per outgoing link. A few adds per
+	// operation; never allocated on the hot path.
+	tComp, tStart, tXfer costmodel.Time
+	linkWords            []int64
+
+	// Span recorder, active only when the machine's EnableProfile is
+	// set (see profile.go).
+	prof bool
+	ps   profState
+
 	pool bufPool
 
 	// Deadlock watchdog state. The timer is armed at most once per
@@ -458,7 +497,9 @@ func (p *Proc) Compute(flops int) {
 		panic("hypercube: negative flop count")
 	}
 	p.nFlops += int64(flops)
-	p.clock += p.m.params.FlopCost(flops)
+	c := p.m.params.FlopCost(flops)
+	p.clock += c
+	p.tComp += c
 }
 
 // Send transmits words to the neighbor along dimension d with the
@@ -468,6 +509,8 @@ func (p *Proc) Compute(flops int) {
 func (p *Proc) Send(d, tag int, words []float64) {
 	p.checkDim(d)
 	p.clock += p.m.params.SendCost(len(words))
+	p.tStart += p.m.params.CommStartup
+	p.tXfer += costmodel.Time(len(words)) * p.m.params.CommPerWord
 	p.post(d, tag, words, p.clock)
 }
 
@@ -480,6 +523,7 @@ func (p *Proc) post(d, tag int, words []float64, arrive costmodel.Time) {
 	copy(cp, words)
 	p.nMsgs++
 	p.nWords += int64(len(words))
+	p.linkWords[d] += int64(len(words))
 	dst := p.id ^ (1 << d)
 	if lim := p.m.traceLimit; lim > 0 && len(p.trace) < lim {
 		p.trace = append(p.trace, TraceEvent{
@@ -578,15 +622,25 @@ func (p *Proc) ExchangeAll(dims []int, tag int, payloads [][]float64) [][]float6
 	start := p.clock
 	if p.m.params.AllPorts {
 		var maxCost costmodel.Time
+		maxWords := 0
 		for i, d := range dims {
 			c := p.m.params.SendCost(len(payloads[i]))
 			if c > maxCost {
 				maxCost = c
 			}
+			if len(payloads[i]) > maxWords {
+				maxWords = len(payloads[i])
+			}
 			p.clock = start + c
 			p.post(d, tag, payloads[i], p.clock)
 		}
 		p.clock = start + maxCost
+		// The phase charges the largest single send; attribute one
+		// start-up and the largest payload's transfer time.
+		if len(dims) > 0 {
+			p.tStart += p.m.params.CommStartup
+			p.tXfer += costmodel.Time(maxWords) * p.m.params.CommPerWord
+		}
 	} else {
 		for i, d := range dims {
 			p.Send(d, tag, payloads[i])
@@ -618,6 +672,8 @@ func (p *Proc) FullMask() int { return (1 << p.m.dim) - 1 }
 // structured traffic share one clock.
 func (p *Proc) RouteCharge(n int) {
 	p.clock += p.m.params.RouteHopCost(n)
+	p.tStart += p.m.params.RouteStartup
+	p.tXfer += costmodel.Time(n) * p.m.params.RoutePerWord
 }
 
 // RoutePhaseCharge charges the clock for one dimension-ordered routing
@@ -626,6 +682,8 @@ func (p *Proc) RouteCharge(n int) {
 // overhead (the cost of not combining messages).
 func (p *Proc) RoutePhaseCharge(msgs, n int) {
 	p.clock += p.m.params.RoutePhaseCost(msgs, n)
+	p.tStart += p.m.params.RouteStartup + costmodel.Time(msgs)*p.m.params.RoutePerMsg
+	p.tXfer += costmodel.Time(n) * p.m.params.RoutePerWord
 }
 
 func (p *Proc) checkDim(d int) {

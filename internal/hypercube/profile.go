@@ -1,0 +1,298 @@
+package hypercube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vmprim/internal/costmodel"
+	"vmprim/internal/obs"
+)
+
+// Virtual-time profiling: hierarchical spans over the SPMD program and
+// per-processor attribution of the clock into compute / start-up /
+// transfer / idle buckets. The bucket and per-link counters are always
+// on (a handful of float/int adds per operation); the span machinery
+// activates only under EnableProfile, so the hot paths stay
+// allocation-free when profiling is off and the simulated times are
+// bit-identical either way — spans observe the clock, never advance
+// it.
+
+// profInstProc reports whether a processor keeps a full
+// per-occurrence span log for the Chrome-trace exporter: processor 0
+// and each of its neighbors (the powers of two), so that every cube
+// dimension's traffic at processor 0 has both endpoints exported and
+// shows up as a flow arrow. Aggregates are kept on every processor;
+// the occurrence logs are the expensive part (O(spans) each), so only
+// these dim+1 tracks pay for them.
+func profInstProc(id int) bool { return id&(id-1) == 0 }
+
+// spanFrame is one open span on a processor's span stack.
+type spanFrame struct {
+	node  int
+	begin costmodel.Time
+	// Snapshots of the bucket and stat accumulators at BeginSpan;
+	// EndSpan turns them into inclusive deltas.
+	comp, start, xfer  costmodel.Time
+	msgs, words, flops int64
+	// childIncl accumulates the inclusive time of completed direct
+	// children, giving the exclusive time without a second pass.
+	childIncl costmodel.Time
+}
+
+// profNode is one discovered span-tree node: a unique (parent, name)
+// path. SPMD symmetry makes every processor discover the same nodes
+// in the same order.
+type profNode struct {
+	name     string
+	parent   int // node id, -1 at top level
+	note     string
+	children []int
+}
+
+// nodeAgg is a processor's aggregate over all occurrences of a node.
+type nodeAgg struct {
+	count              int64
+	incl, excl         costmodel.Time
+	comp, start, xfer  costmodel.Time
+	msgs, words, flops int64
+}
+
+// profState is a processor's span recorder, reset by every Run.
+type profState struct {
+	nodes []profNode
+	roots []int
+	agg   []nodeAgg
+	stack []spanFrame
+	inst  []obs.Instance
+}
+
+func (ps *profState) reset() {
+	ps.nodes = ps.nodes[:0]
+	ps.roots = ps.roots[:0]
+	ps.agg = ps.agg[:0]
+	ps.stack = ps.stack[:0]
+	ps.inst = ps.inst[:0]
+}
+
+// findOrAddNode resolves name under parent (-1 for top level),
+// appending a new node on first sight.
+func (ps *profState) findOrAddNode(parent int, name string) int {
+	var siblings []int
+	if parent < 0 {
+		siblings = ps.roots
+	} else {
+		siblings = ps.nodes[parent].children
+	}
+	for _, id := range siblings {
+		if ps.nodes[id].name == name {
+			return id
+		}
+	}
+	id := len(ps.nodes)
+	ps.nodes = append(ps.nodes, profNode{name: name, parent: parent})
+	ps.agg = append(ps.agg, nodeAgg{})
+	if parent < 0 {
+		ps.roots = append(ps.roots, id)
+	} else {
+		ps.nodes[parent].children = append(ps.nodes[parent].children, id)
+	}
+	return id
+}
+
+// Profiling reports whether span recording is active for the current
+// run. Use it to guard annotation work (string building for SpanNote)
+// that would otherwise run with profiling off.
+func (p *Proc) Profiling() bool { return p.prof }
+
+// BeginSpan opens a named span on this processor's span stack. Spans
+// nest and must be closed in LIFO order with EndSpan before the SPMD
+// body returns. The SPMD contract applies: every processor must open
+// and close the same spans in the same order, so the span tree is
+// recorded once per run while the timings are aggregated over
+// processors. A no-op unless the machine's EnableProfile is set.
+func (p *Proc) BeginSpan(name string) {
+	if !p.prof {
+		return
+	}
+	ps := &p.ps
+	parent := -1
+	if n := len(ps.stack); n > 0 {
+		parent = ps.stack[n-1].node
+	}
+	node := ps.findOrAddNode(parent, name)
+	ps.stack = append(ps.stack, spanFrame{
+		node:  node,
+		begin: p.clock,
+		comp:  p.tComp, start: p.tStart, xfer: p.tXfer,
+		msgs: p.nMsgs, words: p.nWords, flops: p.nFlops,
+	})
+}
+
+// EndSpan closes the innermost open span, recording its inclusive and
+// exclusive virtual time, bucket deltas and counter deltas. It panics
+// if no span is open — an unbalanced Begin/End pair is a program bug.
+func (p *Proc) EndSpan() {
+	if !p.prof {
+		return
+	}
+	ps := &p.ps
+	n := len(ps.stack)
+	if n == 0 {
+		panic("hypercube: EndSpan without matching BeginSpan")
+	}
+	f := &ps.stack[n-1]
+	incl := p.clock - f.begin
+	a := &ps.agg[f.node]
+	a.count++
+	a.incl += incl
+	a.excl += incl - f.childIncl
+	a.comp += p.tComp - f.comp
+	a.start += p.tStart - f.start
+	a.xfer += p.tXfer - f.xfer
+	a.msgs += p.nMsgs - f.msgs
+	a.words += p.nWords - f.words
+	a.flops += p.nFlops - f.flops
+	if profInstProc(p.id) {
+		ps.inst = append(ps.inst, obs.Instance{Node: f.node, Begin: f.begin, End: p.clock})
+	}
+	ps.stack = ps.stack[:n-1]
+	if n > 1 {
+		ps.stack[n-2].childIncl += incl
+	}
+}
+
+// SpanNote attaches an annotation (an embedding change, a chosen
+// algorithm variant, ...) to the innermost open span's tree node.
+// Notes are recorded on processor 0 only and deduplicated; guard any
+// string building at the call site with Profiling(). A no-op when
+// profiling is off or no span is open.
+func (p *Proc) SpanNote(note string) {
+	if !p.prof || p.id != 0 {
+		return
+	}
+	n := len(p.ps.stack)
+	if n == 0 {
+		return
+	}
+	nd := &p.ps.nodes[p.ps.stack[n-1].node]
+	switch {
+	case nd.note == "":
+		nd.note = note
+	case !strings.Contains(nd.note, note):
+		nd.note += "; " + note
+	}
+}
+
+// checkSpansClosed panics if the SPMD body returned with spans still
+// open; runBody calls it so the mismatch surfaces as a Run error
+// naming the processor.
+func (p *Proc) checkSpansClosed() {
+	if !p.prof {
+		return
+	}
+	if n := len(p.ps.stack); n > 0 {
+		name := p.ps.nodes[p.ps.stack[n-1].node].name
+		panic(fmt.Sprintf(
+			"hypercube: %d span(s) left open at end of run (innermost %q): BeginSpan without matching EndSpan",
+			n, name))
+	}
+}
+
+// EnableProfile turns span recording on or off for subsequent runs.
+// Like EnableTrace it must be called between runs, not during one.
+// The per-processor clock buckets and per-link word counters are
+// always on; EnableProfile only controls the span tree (and therefore
+// whether Profile returns a value). For Chrome-trace flow arrows,
+// also call EnableTrace: the exporter reuses the traced messages.
+func (m *Machine) EnableProfile(on bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.profEnabled = on
+}
+
+// Profile returns the profile of the most recent Run, or nil if
+// profiling was off or the run failed. The returned value is a
+// snapshot; it stays valid across later runs.
+func (m *Machine) Profile() *obs.Profile {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.profile
+}
+
+// buildProfile assembles the obs.Profile after a successful profiled
+// run. Caller must not hold m.mu.
+func (m *Machine) buildProfile() *obs.Profile {
+	procs := make([]obs.ProcData, m.p)
+	for pid, pr := range m.procs {
+		pd := &procs[pid]
+		pd.Clock = pr.clock
+		pd.Compute, pd.Startup, pd.Transfer = pr.tComp, pr.tStart, pr.tXfer
+		pd.Msgs, pd.Words, pd.Flops = pr.nMsgs, pr.nWords, pr.nFlops
+		ps := &pr.ps
+		pd.Meta = make([]obs.NodeMeta, len(ps.nodes))
+		pd.Stats = make([]obs.NodeStats, len(ps.nodes))
+		for i := range ps.nodes {
+			pd.Meta[i] = obs.NodeMeta{
+				Name: ps.nodes[i].name, Parent: ps.nodes[i].parent, Note: ps.nodes[i].note,
+			}
+			a := &ps.agg[i]
+			pd.Stats[i] = obs.NodeStats{
+				Count: a.count,
+				Incl:  a.incl, Excl: a.excl,
+				Compute: a.comp, Startup: a.start, Transfer: a.xfer,
+				Msgs: a.msgs, Words: a.words, Flops: a.flops,
+			}
+		}
+		if len(ps.inst) > 0 {
+			pd.Instances = append([]obs.Instance(nil), ps.inst...)
+		}
+	}
+	var events []obs.LinkEvent
+	for _, ev := range m.trace {
+		events = append(events, obs.LinkEvent{
+			Time: ev.Time, Src: ev.Src, Dst: ev.Dst, Dim: ev.Dim, Words: ev.Words, Tag: ev.Tag,
+		})
+	}
+	return obs.Build(m.dim, procs, events, m.linkLoads(0))
+}
+
+// linkLoads lists the nonzero directed-link word counts of the most
+// recent run, hottest first; k > 0 truncates to the top k. Caller may
+// hold m.mu or not — the method reads only per-proc counters, which
+// are quiescent between runs.
+func (m *Machine) linkLoads(k int) []obs.LinkLoad {
+	var loads []obs.LinkLoad
+	for pid, pr := range m.procs {
+		for d, w := range pr.linkWords {
+			if w > 0 {
+				loads = append(loads, obs.LinkLoad{
+					Src: pid, Dim: d, Dst: pid ^ (1 << d), Words: w,
+				})
+			}
+		}
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].Words != loads[j].Words {
+			return loads[i].Words > loads[j].Words
+		}
+		if loads[i].Src != loads[j].Src {
+			return loads[i].Src < loads[j].Src
+		}
+		return loads[i].Dim < loads[j].Dim
+	})
+	if k > 0 && len(loads) > k {
+		loads = loads[:k]
+	}
+	return loads
+}
+
+// Congestion returns the k busiest directed links of the most recent
+// run (all nonzero links if k <= 0), hottest first. It reads the
+// always-on per-link word counters, so it works whether or not
+// tracing or profiling was enabled.
+func (m *Machine) Congestion(k int) []obs.LinkLoad {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.linkLoads(k)
+}

@@ -1,0 +1,216 @@
+package hypercube
+
+import (
+	"strings"
+	"testing"
+
+	"vmprim/internal/costmodel"
+)
+
+// profiledPingPong is a small SPMD body exercising spans, compute and
+// neighbor exchanges in both span scopes.
+func profiledPingPong(p *Proc) {
+	p.BeginSpan("outer")
+	p.Compute(10)
+	p.BeginSpan("exchange")
+	for d := 0; d < p.Dim(); d++ {
+		p.Exchange(d, 7+d, []float64{float64(p.ID())})
+	}
+	p.EndSpan()
+	p.Compute(5)
+	p.EndSpan()
+}
+
+func TestEndSpanWithoutBeginPanics(t *testing.T) {
+	m := MustNew(2, costmodel.Ideal())
+	m.EnableProfile(true)
+	_, err := m.Run(func(p *Proc) { p.EndSpan() })
+	if err == nil || !strings.Contains(err.Error(), "EndSpan without matching BeginSpan") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestOpenSpanAtRunEndPanics(t *testing.T) {
+	m := MustNew(2, costmodel.Ideal())
+	m.EnableProfile(true)
+	_, err := m.Run(func(p *Proc) { p.BeginSpan("leaky") })
+	if err == nil || !strings.Contains(err.Error(), "leaky") {
+		t.Fatalf("err = %v", err)
+	}
+	// The machine must stay usable after the failed run.
+	if _, err := m.Run(profiledPingPong); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpanOpsIgnoredWhenProfilingOff(t *testing.T) {
+	m := MustNew(2, costmodel.Ideal())
+	if _, err := m.Run(func(p *Proc) {
+		if p.Profiling() {
+			t.Error("Profiling() true without EnableProfile")
+		}
+		p.BeginSpan("ignored") // deliberately unbalanced: all no-ops
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if pf := m.Profile(); pf != nil {
+		t.Fatal("Profile() non-nil without EnableProfile")
+	}
+}
+
+func TestProfileBucketsReconcileExactly(t *testing.T) {
+	for _, params := range []costmodel.Params{costmodel.CM2(), costmodel.IPSC(), costmodel.Ideal()} {
+		m := MustNew(3, params)
+		m.EnableProfile(true)
+		if _, err := m.Run(profiledPingPong); err != nil {
+			t.Fatal(err)
+		}
+		pf := m.Profile()
+		if pf == nil {
+			t.Fatal("Profile() nil after profiled run")
+		}
+		if err := pf.Check(); err != nil {
+			t.Fatalf("invariants: %v", err)
+		}
+		if skew := pf.BucketSkew(); skew != 0 {
+			t.Fatalf("bucket skew = %g, want exact 0 (integer-valued params)", float64(skew))
+		}
+		// Per-processor bucket sums equal the final clocks exactly.
+		for pid, b := range pf.ProcTotals {
+			if b.Total() != pf.Clocks[pid] {
+				t.Fatalf("proc %d: bucket total %g != clock %g", pid, float64(b.Total()), float64(pf.Clocks[pid]))
+			}
+		}
+	}
+}
+
+func TestProfileSpanTree(t *testing.T) {
+	m := MustNew(3, costmodel.CM2())
+	m.EnableProfile(true)
+	if _, err := m.Run(profiledPingPong); err != nil {
+		t.Fatal(err)
+	}
+	pf := m.Profile()
+	root := pf.Root
+	if root.Name != "run" || len(root.Children) != 1 {
+		t.Fatalf("root = %q with %d children", root.Name, len(root.Children))
+	}
+	outer := root.Children[0]
+	if outer.Name != "outer" || outer.Count != 1 {
+		t.Fatalf("outer = %q count %d (spans are SPMD-symmetric: counted once per run, not per processor)", outer.Name, outer.Count)
+	}
+	if len(outer.Children) != 1 || outer.Children[0].Name != "exchange" {
+		t.Fatalf("outer children = %v", outer.Children)
+	}
+	ex := outer.Children[0]
+	if ex.Incl > outer.Incl || outer.Excl != outer.Incl-ex.Incl {
+		t.Fatalf("inclusive/exclusive mismatch: outer incl %g excl %g, child incl %g",
+			float64(outer.Incl), float64(outer.Excl), float64(ex.Incl))
+	}
+	// All messages were sent inside the exchange span.
+	if ex.Msgs != int64(m.P()*m.Dim()) {
+		t.Fatalf("exchange msgs = %d, want %d", ex.Msgs, m.P()*m.Dim())
+	}
+	if outer.Excl <= 0 {
+		t.Fatal("outer exclusive time should cover its own compute")
+	}
+}
+
+func TestProfilingDoesNotPerturbClocks(t *testing.T) {
+	run := func(profile bool) costmodel.Time {
+		m := MustNew(4, costmodel.CM2())
+		m.EnableProfile(profile)
+		elapsed, err := m.Run(profiledPingPong)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed
+	}
+	if off, on := run(false), run(true); off != on {
+		t.Fatalf("elapsed differs: off %g vs on %g", float64(off), float64(on))
+	}
+}
+
+func TestCongestionAndLinkVolumesAgree(t *testing.T) {
+	m := MustNew(3, costmodel.CM2())
+	// No EnableTrace: volumes must come from the always-on counters.
+	if _, err := m.Run(func(p *Proc) {
+		// Dimension 0 carries double traffic.
+		p.Exchange(0, 5, []float64{1, 2})
+		p.Exchange(0, 6, []float64{3, 4})
+		p.Exchange(1, 7, []float64{5, 6})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	vols := m.LinkVolumes()
+	if len(vols) != m.P() {
+		t.Fatalf("LinkVolumes covers %d processors, want %d", len(vols), m.P())
+	}
+	for pid, dims := range vols {
+		if dims[0] != 4 || dims[1] != 2 {
+			t.Fatalf("proc %d volumes = %v, want dim0:4 dim1:2", pid, dims)
+		}
+	}
+	top := m.Congestion(4)
+	if len(top) != 4 {
+		t.Fatalf("Congestion(4) returned %d entries", len(top))
+	}
+	for _, l := range top {
+		if l.Dim != 0 || l.Words != 4 {
+			t.Fatalf("hottest links should be dim-0 with 4 words, got %+v", l)
+		}
+		if vols[l.Src][l.Dim] != int(l.Words) {
+			t.Fatalf("Congestion %+v disagrees with LinkVolumes %v", l, vols[l.Src])
+		}
+	}
+}
+
+func TestLinkVolumesCachedPerRun(t *testing.T) {
+	m := MustNew(2, costmodel.Ideal())
+	body := func(p *Proc) { p.Exchange(0, 3, []float64{1}) }
+	if _, err := m.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	a := m.LinkVolumes()
+	b := m.LinkVolumes()
+	if a[0][0] != 1 || b[0][0] != 1 {
+		t.Fatalf("volumes = %v / %v", a, b)
+	}
+	// Returned maps are copies: mutating one must not leak into the
+	// cache.
+	a[0][0] = 99
+	if c := m.LinkVolumes(); c[0][0] != 1 {
+		t.Fatalf("cache was mutated through the returned copy: %v", c)
+	}
+	// A new run invalidates the cache.
+	if _, err := m.Run(func(p *Proc) {
+		body(p)
+		body(p)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if c := m.LinkVolumes(); c[0][0] != 2 {
+		t.Fatalf("stale cache after second run: %v", c)
+	}
+}
+
+// BenchmarkLinkVolumes guards the satellite fix: LinkVolumes is a
+// cached copy, not an O(trace events) rescan per call.
+func BenchmarkLinkVolumes(b *testing.B) {
+	m := MustNew(6, costmodel.CM2())
+	m.EnableTrace(1 << 14)
+	if _, err := m.Run(func(p *Proc) {
+		for i := 0; i < 64; i++ {
+			p.Exchange(i%p.Dim(), 100+i, []float64{1, 2, 3, 4})
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if v := m.LinkVolumes(); len(v) == 0 {
+			b.Fatal("empty volumes")
+		}
+	}
+}

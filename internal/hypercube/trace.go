@@ -33,7 +33,11 @@ func (ev TraceEvent) String() string {
 
 // EnableTrace turns on message tracing for subsequent runs, keeping at
 // most limit events per processor (0 disables). Must be called between
-// runs.
+// runs, never during one — the same restriction as EnableProfile, and
+// the two compose: profiling records spans and clock buckets without
+// tracing, but the Chrome-trace exporter draws message flow arrows
+// only from traced events, so set both before the run you want to
+// visualize.
 func (m *Machine) EnableTrace(limit int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -42,7 +46,10 @@ func (m *Machine) EnableTrace(limit int) {
 
 // Trace returns the events of the most recent traced run, ordered by
 // virtual time (ties by source address). It returns nil if tracing was
-// off.
+// off. Tracing is independent of EnableProfile — a profiled run has a
+// trace only if EnableTrace was also set before it — but per-link word
+// volumes no longer need it: LinkVolumes and Congestion read always-on
+// counters.
 func (m *Machine) Trace() []TraceEvent {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -51,18 +58,39 @@ func (m *Machine) Trace() []TraceEvent {
 	return out
 }
 
-// LinkVolumes returns, for the most recent traced run, the total words
+// LinkVolumes returns, for the most recent run, the total words
 // carried by each directed link, keyed by [src][dim]. Congestion
-// analyses read hot links directly from this.
+// analyses read hot links directly from this. The volumes come from
+// the always-on per-link counters — tracing need not be enabled — and
+// are computed once per run: the first call after a Run builds a
+// cached map in O(p*dim) and every call returns a copy of the cache,
+// instead of the old per-call O(events) rescan of the trace.
 func (m *Machine) LinkVolumes() map[int]map[int]int {
-	vols := make(map[int]map[int]int)
-	for _, ev := range m.Trace() {
-		if vols[ev.Src] == nil {
-			vols[ev.Src] = make(map[int]int)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.vols == nil {
+		vols := make(map[int]map[int]int)
+		for pid, pr := range m.procs {
+			for d, w := range pr.linkWords {
+				if w > 0 {
+					if vols[pid] == nil {
+						vols[pid] = make(map[int]int)
+					}
+					vols[pid][d] = int(w)
+				}
+			}
 		}
-		vols[ev.Src][ev.Dim] += ev.Words
+		m.vols = vols
 	}
-	return vols
+	out := make(map[int]map[int]int, len(m.vols))
+	for src, dims := range m.vols {
+		cp := make(map[int]int, len(dims))
+		for d, w := range dims {
+			cp[d] = w
+		}
+		out[src] = cp
+	}
+	return out
 }
 
 // collectTrace gathers and orders the per-processor event buffers.

@@ -84,6 +84,8 @@ func decode(flat []float64) []Msg {
 // Route is a machine-wide collective: every processor must call it
 // with the same tag.
 func Route(p *hypercube.Proc, tag int, outgoing []Msg) []Msg {
+	p.BeginSpan("route")
+	defer p.EndSpan()
 	for _, m := range outgoing {
 		if m.Dst < 0 || m.Dst >= p.P() {
 			panic(fmt.Sprintf("router: destination %d out of range [0,%d)", m.Dst, p.P()))
@@ -123,6 +125,8 @@ func Route(p *hypercube.Proc, tag int, outgoing []Msg) []Msg {
 // This is the access pattern of the naive implementations: fetch the
 // remote operands element by element, with no combining.
 func Request(p *hypercube.Proc, tag int, want []Msg, serve func(key int) []float64) [][]float64 {
+	p.BeginSpan("route-request")
+	defer p.EndSpan()
 	// Phase 1: route the requests. Key carries the requested item;
 	// the payload carries the requester's address and request index.
 	reqs := make([]Msg, len(want))

@@ -22,5 +22,28 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/...
+# The profiler invariant tests (bit-identity, bucket reconciliation)
+# under the race detector: the span recorder runs on every processor
+# goroutine, so races here would be real simulator bugs.
+go test -race -run 'Profile|Span|Congestion|LinkVolumes' ./internal/hypercube/ ./internal/obs/
+
+# End-to-end profiled run: the JSON profile on stdout must parse, and
+# the Chrome trace written next to it must parse, or the exporters
+# regressed.
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go run ./cmd/vmprim -profile E1 -json -trace-out "$tmpdir/trace.json" >"$tmpdir/profile.json"
+python3 - "$tmpdir/profile.json" "$tmpdir/trace.json" <<'PYEOF'
+import json, sys
+prof = json.load(open(sys.argv[1]))
+root = prof["spans"]
+assert prof["p"] > 0 and root["name"] == "run" and root.get("children"), \
+    "profile JSON missing span tree"
+assert prof["bucket_skew_us"] == 0, "bucket reconciliation skew nonzero"
+trace = json.load(open(sys.argv[2]))
+assert trace["traceEvents"], "Chrome trace empty"
+print("profiled run: %d procs, %d top-level spans, %d trace events" %
+      (prof["p"], len(root["children"]), len(trace["traceEvents"])))
+PYEOF
 
 echo "check.sh: all clean"

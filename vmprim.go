@@ -32,6 +32,7 @@ import (
 	"vmprim/internal/costmodel"
 	"vmprim/internal/embed"
 	"vmprim/internal/hypercube"
+	"vmprim/internal/obs"
 	"vmprim/internal/serial"
 )
 
@@ -49,6 +50,25 @@ type (
 	Params = costmodel.Params
 	// Time is simulated machine time in microseconds.
 	Time = costmodel.Time
+)
+
+// Virtual-time profiler (internal/obs). Switch it on per machine with
+// Machine.EnableProfile(true) before a run; Machine.Profile() then
+// returns the run's Profile — a span tree with per-span virtual-time
+// buckets — renderable as a text tree (WriteTree), profile JSON
+// (WriteJSON) or Chrome trace-event JSON (ChromeTrace). Inside an SPMD
+// body, Env.BeginSpan/EndSpan add application-level spans.
+type (
+	// Profile is one profiled run: span tree, per-processor clock
+	// buckets and link loads.
+	Profile = obs.Profile
+	// Span is one node of a Profile's tree.
+	Span = obs.Span
+	// Buckets splits a processor's virtual clock into compute,
+	// start-up, transfer and idle time.
+	Buckets = obs.Buckets
+	// LinkLoad is the word volume of one directed cube link.
+	LinkLoad = obs.LinkLoad
 )
 
 // NewMachine returns a 2^dim-processor machine; it panics on invalid
