@@ -1,3 +1,5 @@
 module vmprim
 
 go 1.23
+
+toolchain go1.24.0

@@ -1,0 +1,251 @@
+// Package analysistest runs a vmlint analyzer over fixture packages
+// and compares its diagnostics against expectations written in the
+// fixture sources, mirroring golang.org/x/tools/go/analysis/analysistest
+// closely enough that a future migration is mechanical.
+//
+// Fixtures live in a GOPATH-shaped tree:
+//
+//	testdata/src/<import/path>/*.go
+//
+// so a stub package can be declared under the exact import path the
+// analyzers match against (vmprim/internal/hypercube and friends) —
+// name-and-path matching in vmlib is what makes the same analyzer
+// logic work on the real tree and on the stubs.
+//
+// An expected diagnostic is a trailing comment on the offending line:
+//
+//	buf := p.GetBuf(8) // want `never recycled`
+//
+// with one or more quoted or backquoted regular expressions matched
+// against the diagnostic message. Every diagnostic must be wanted and
+// every want must be matched; anything else fails the test.
+//
+// Fixture imports of other fixture packages are type-checked from
+// source, recursively; imports with no fixture directory (time,
+// math/rand) fall back to the compiler's export data via `go list
+// -export`, so fixtures may use the standard library freely without
+// the test shipping stubs for it.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"vmprim/internal/analysis/framework"
+)
+
+// Run applies a to each fixture package (by import path, rooted at
+// testdata/src) and reports every mismatch between the diagnostics
+// and the fixtures' // want expectations as a test error.
+func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	l := newLoader(testdata)
+	for _, path := range pkgpaths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		findings, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		checkExpectations(t, l.fset, pkg, findings)
+	}
+}
+
+// expectation is one parsed // want regexp.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// checkExpectations matches findings against the fixture's // want
+// comments: same file, same line, message matching the pattern.
+func checkExpectations(t *testing.T, fset *token.FileSet, pkg *framework.Package, findings []framework.Finding) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				wants = append(wants, parseWants(t, fset, c)...)
+			}
+		}
+	}
+	for _, fd := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == fd.Pos.Filename && w.line == fd.Pos.Line && w.re.MatchString(fd.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", fd)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool { return wants[i].line < wants[j].line })
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the expectations from one comment, which holds
+// zero or more quoted or backquoted patterns after the marker:
+//
+//	// want `regexp` "another"
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*expectation {
+	t.Helper()
+	const marker = "// want "
+	if !strings.HasPrefix(c.Text, marker) {
+		return nil
+	}
+	pos := fset.Position(c.Pos())
+	rest := strings.TrimPrefix(c.Text, marker)
+	var wants []*expectation
+	for {
+		rest = strings.TrimSpace(rest)
+		if rest == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want pattern %q", pos.Filename, pos.Line, rest)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed want pattern %q: %v", pos.Filename, pos.Line, q, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, lit, err)
+		}
+		wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+		rest = rest[len(q):]
+	}
+	return wants
+}
+
+// loader type-checks fixture packages from source, resolving fixture
+// imports recursively and everything else from export data.
+type loader struct {
+	root       string // testdata/src
+	fset       *token.FileSet
+	pkgs       map[string]*framework.Package
+	std        types.Importer
+	stdExports map[string]string // import path -> export data file
+	listed     map[string]bool   // go list already attempted
+}
+
+func newLoader(testdata string) *loader {
+	l := &loader{
+		root:       filepath.Join(testdata, "src"),
+		fset:       token.NewFileSet(),
+		pkgs:       make(map[string]*framework.Package),
+		stdExports: make(map[string]string),
+		listed:     make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.fset, "gc", l.lookupExport)
+	return l
+}
+
+// Import implements types.Importer over the two source kinds.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.root, filepath.FromSlash(path)); dirExists(dir) {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.TypeErrors) > 0 {
+			return nil, fmt.Errorf("fixture %s has type errors (first: %v)", path, p.TypeErrors[0])
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks one fixture package.
+func (l *loader) load(path string) (*framework.Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &framework.Package{PkgPath: path, Dir: dir, Fset: l.fset, Info: framework.NewInfo()}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Types, _ = conf.Check(path, l.fset, p.Files, p.Info)
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// lookupExport resolves export data for non-fixture imports, listing
+// each root package (with its dependency closure) at most once.
+func (l *loader) lookupExport(path string) (io.ReadCloser, error) {
+	if f, ok := l.stdExports[path]; ok {
+		return os.Open(f)
+	}
+	if !l.listed[path] {
+		l.listed[path] = true
+		out, err := exec.Command("go", "list", "-e", "-export", "-deps", "-json=ImportPath,Export", path).Output()
+		if err == nil {
+			dec := json.NewDecoder(bytes.NewReader(out))
+			for {
+				var lp struct{ ImportPath, Export string }
+				if err := dec.Decode(&lp); err != nil {
+					break
+				}
+				if lp.Export != "" {
+					l.stdExports[lp.ImportPath] = lp.Export
+				}
+			}
+		}
+	}
+	if f, ok := l.stdExports[path]; ok {
+		return os.Open(f)
+	}
+	return nil, fmt.Errorf("no export data for %q", path)
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}

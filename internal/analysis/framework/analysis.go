@@ -1,0 +1,100 @@
+// Package framework is a self-contained reimplementation of the slice
+// of golang.org/x/tools/go/analysis that the vmlint analyzers need:
+// the Analyzer/Pass/Diagnostic vocabulary, a package loader, a
+// standalone runner with //lint:allow suppression, and the go vet
+// -vettool unit-checker protocol.
+//
+// The build environment for this repository is hermetic — the module
+// proxy is unreachable and the module must stay dependency-free — so
+// the real x/tools packages cannot be added to go.mod. The API below
+// mirrors theirs closely enough that swapping this package for
+// golang.org/x/tools/go/analysis (plus unitchecker and analysistest)
+// is a mechanical import change, which is the intended migration once
+// the dependency is available.
+//
+// Differences from the real framework, chosen for simplicity:
+//
+//   - no Facts and no Requires graph: the vmlint analyzers are all
+//     intra-package, so cross-package fact flow is unnecessary;
+//   - no SSA or CFG: analyzers work on the AST and go/types info;
+//   - package loading shells out to `go list -export` and feeds the
+//     compiler's export data to go/importer, instead of using
+//     go/packages.
+package framework
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name, a documentation string, and
+// a Run function invoked once per loaded package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in //lint:allow
+	// directives. It must be a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then details.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings via
+	// pass.Report/Reportf and returns an error only for internal
+	// analyzer failures (never for findings).
+	Run func(pass *Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being applied.
+	Analyzer *Analyzer
+
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+
+	// Files are the package's parsed syntax trees (comments included).
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds the type-checker's results for Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The runner installs it; analyzer
+	// code should prefer Reportf.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// WalkStack traverses root in depth-first source order, calling fn for
+// every node with the stack of enclosing nodes (outermost first, not
+// including n itself). If fn returns false the node's children are
+// skipped. Analyzers use it where x/tools code would use
+// inspector.WithStack.
+func WalkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := fn(n, stack)
+		if descend {
+			stack = append(stack, n)
+		}
+		return descend
+	})
+}

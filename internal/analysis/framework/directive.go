@@ -1,0 +1,108 @@
+package framework
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression directives.
+//
+// A comment of the form
+//
+//	//lint:allow <analyzer> <reason>
+//
+// silences diagnostics from the named analyzer (or from every analyzer,
+// for the name "all"). The reason is mandatory: a suppression without a
+// recorded justification is itself a defect, and the driver rejects
+// bare directives. A directive applies to
+//
+//   - the source line it appears on (trailing comment),
+//   - the line immediately below (standalone comment line), and
+//   - the whole declaration, when it is part of a declaration's doc
+//     comment.
+
+// directivePrefix introduces a suppression comment.
+const directivePrefix = "//lint:allow"
+
+// A directive is one parsed //lint:allow comment.
+type directive struct {
+	analyzer string // analyzer name, or "all"
+	reason   string
+	file     string // filename of the comment
+	line     int    // line of the comment
+	// declRange is set when the directive sits in a declaration's doc
+	// comment: the directive then covers [declPos, declEnd].
+	declPos, declEnd token.Pos
+}
+
+// malformedDirective records a //lint:allow comment missing its
+// analyzer name or reason, so the driver can fail loudly instead of
+// silently suppressing nothing.
+type malformedDirective struct {
+	pos token.Pos
+	msg string
+}
+
+// parseDirectives extracts every suppression directive from a file,
+// attaching doc-comment directives to their declaration's range.
+func parseDirectives(fset *token.FileSet, f *ast.File) (ds []directive, bad []malformedDirective) {
+	// Map each doc comment group to its declaration's extent.
+	docRange := make(map[*ast.CommentGroup][2]token.Pos)
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if d.Doc != nil {
+				docRange[d.Doc] = [2]token.Pos{d.Pos(), d.End()}
+			}
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				docRange[d.Doc] = [2]token.Pos{d.Pos(), d.End()}
+			}
+		}
+	}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(c.Text, directivePrefix)
+			if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+				continue // e.g. //lint:allowance — not a directive
+			}
+			fields := strings.Fields(rest)
+			if len(fields) == 0 {
+				bad = append(bad, malformedDirective{c.Pos(), "directive missing analyzer name: " + c.Text})
+				continue
+			}
+			if len(fields) < 2 {
+				bad = append(bad, malformedDirective{c.Pos(), "directive missing reason: " + c.Text})
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := directive{
+				analyzer: fields[0],
+				reason:   strings.Join(fields[1:], " "),
+				file:     pos.Filename,
+				line:     pos.Line,
+			}
+			if r, ok := docRange[cg]; ok {
+				d.declPos, d.declEnd = r[0], r[1]
+			}
+			ds = append(ds, d)
+		}
+	}
+	return ds, bad
+}
+
+// suppresses reports whether directive d silences a diagnostic from
+// analyzer at the given position.
+func (d *directive) suppresses(analyzer string, pos token.Position, tokPos token.Pos) bool {
+	if d.analyzer != "all" && d.analyzer != analyzer {
+		return false
+	}
+	if d.declPos.IsValid() && d.declPos <= tokPos && tokPos <= d.declEnd {
+		return true
+	}
+	return d.file == pos.Filename && (d.line == pos.Line || d.line+1 == pos.Line)
+}

@@ -1,0 +1,150 @@
+package framework
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// A Package is one loaded, parsed and type-checked package, ready for
+// analysis.
+type Package struct {
+	// PkgPath is the package's import path.
+	PkgPath string
+
+	// Dir is the directory holding the package's sources.
+	Dir string
+
+	// Fset positions the package's syntax (shared across a Load call).
+	Fset *token.FileSet
+
+	// Files are the parsed non-test Go files, with comments.
+	Files []*ast.File
+
+	// Types is the type-checked package object.
+	Types *types.Package
+
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+
+	// TypeErrors collects type-check problems. A package with type
+	// errors is not analyzed; the driver reports the errors instead,
+	// because analyzers assume complete type information.
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader uses.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go command (from dir), parses every
+// matched non-dependency package, and type-checks it against the
+// compiler's export data for its dependencies. The returned packages
+// are sorted by import path and share one FileSet.
+//
+// Loading needs no network and no GOPATH contents beyond the module
+// itself: `go list -export` compiles dependencies into the build cache
+// and hands back their export-data files, which go/importer consumes
+// directly.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-e", "-export",
+		"-deps", "-json=ImportPath,Export,Dir,GoFiles,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp listPackage
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %v: decoding output: %v", patterns, err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %v: %s", patterns, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if !lp.DepOnly && !lp.Standard {
+			targets = append(targets, lp)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		p := &Package{PkgPath: t.ImportPath, Dir: t.Dir, Fset: fset}
+		var parseErr error
+		for _, gf := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, gf), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				parseErr = err
+				break
+			}
+			p.Files = append(p.Files, f)
+		}
+		if parseErr != nil {
+			return nil, fmt.Errorf("parsing %s: %v", t.ImportPath, parseErr)
+		}
+		p.Info = NewInfo()
+		conf := types.Config{
+			Importer: imp,
+			Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+		}
+		// Check returns the (possibly incomplete) package even on
+		// error; TypeErrors carries the details.
+		p.Types, _ = conf.Check(t.ImportPath, fset, p.Files, p.Info)
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult
+// allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}

@@ -1,0 +1,85 @@
+package framework
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one diagnostic after suppression, positioned and
+// attributed to its analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form
+// consumed by editors and CI annotators.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package, honors //lint:allow
+// directives, and returns the surviving findings sorted by position.
+// Malformed directives (missing analyzer or reason) are reported as
+// findings of the pseudo-analyzer "directive" so they fail the lint
+// gate rather than silently suppressing nothing.
+//
+// Packages with type errors are not analyzed; Run returns an error
+// naming them, since findings over broken types would be unreliable.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("package %s has type errors (first: %v)", pkg.PkgPath, pkg.TypeErrors[0])
+		}
+		var dirs []directive
+		for _, f := range pkg.Files {
+			ds, bad := parseDirectives(pkg.Fset, f)
+			dirs = append(dirs, ds...)
+			for _, b := range bad {
+				findings = append(findings, Finding{
+					Analyzer: "directive",
+					Pos:      pkg.Fset.Position(b.pos),
+					Message:  b.msg,
+				})
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				for i := range dirs {
+					if dirs[i].suppresses(a.Name, pos, d.Pos) {
+						return
+					}
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

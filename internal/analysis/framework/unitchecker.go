@@ -1,0 +1,167 @@
+package framework
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// go vet -vettool support.
+//
+// When the go command drives an external vet tool it execs it twice:
+// once as `tool -V=full` to obtain a version line for the build cache
+// key, then once per package as `tool <unit>.cfg`, where the cfg file
+// is a JSON description of one compiled package (files, import maps,
+// export-data locations, and the path of a "vetx" facts file to
+// write). Diagnostics go to stderr as file:line:col: messages and a
+// nonzero exit marks the package as failing.
+//
+// This file implements that contract without x/tools. The vmlint
+// analyzers exchange no facts, so the vetx outputs are written empty
+// and dependency units (VetxOnly) return immediately.
+
+// vetConfig mirrors the JSON the go command writes for a vet unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+	GoVersion                 string
+}
+
+// UnitcheckerMain handles a go vet -vettool invocation if the argument
+// list matches the protocol (-V=full handshake or a *.cfg unit file).
+// It returns false if args look like a standalone invocation instead;
+// on a protocol match it never returns — it exits with the unit's
+// status (0 clean, 2 findings, 1 internal failure).
+func UnitcheckerMain(args []string, analyzers []*Analyzer) bool {
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		// Version handshake. The go command's tool-ID probe parses
+		// "<name> version devel ... buildID=<id>" and folds the ID into
+		// its cache key, so hashing our own binary makes vet results
+		// invalidate exactly when the analyzers change.
+		id := "unknown"
+		if exe, err := os.Executable(); err == nil {
+			if data, err := os.ReadFile(exe); err == nil {
+				sum := sha256.Sum256(data)
+				id = fmt.Sprintf("%x", sum[:16])
+			}
+		}
+		fmt.Printf("vmlint version devel buildID=%s\n", id)
+		os.Exit(0)
+	}
+	if len(args) == 1 && args[0] == "-flags" {
+		// Flag-description probe: the go command asks which flags the
+		// tool accepts so it can forward matching vet flags. vmlint
+		// takes none; an empty JSON list says so.
+		fmt.Println("[]")
+		os.Exit(0)
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		return false
+	}
+	exit, err := runUnit(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vmlint: %v\n", err)
+		os.Exit(1)
+	}
+	os.Exit(exit)
+	panic("unreachable")
+}
+
+// runUnit processes one vet unit file.
+func runUnit(cfgFile string, analyzers []*Analyzer) (exit int, err error) {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return 0, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgFile, err)
+	}
+	// The analyzers are fact-free, so a facts-only unit has no work;
+	// an empty vetx file satisfies the driver either way.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	ignored := make(map[string]bool, len(cfg.IgnoredFiles))
+	for _, f := range cfg.IgnoredFiles {
+		ignored[f] = true
+	}
+	var files []*ast.File
+	for _, gf := range cfg.GoFiles {
+		if ignored[gf] {
+			continue
+		}
+		if !filepath.IsAbs(gf) {
+			gf = filepath.Join(cfg.Dir, gf)
+		}
+		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0, nil
+			}
+			return 0, err
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	pkg := &Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Info: NewInfo()}
+	conf := types.Config{
+		Importer:  imp,
+		GoVersion: cfg.GoVersion,
+		Error:     func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Types, _ = conf.Check(cfg.ImportPath, fset, files, pkg.Info)
+	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
+		return 0, nil
+	}
+
+	findings, err := Run([]*Package{pkg}, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s\n", f)
+	}
+	if len(findings) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,292 @@
+// Package recyclecheck statically enforces the buffer-ownership
+// discipline of the simulator's per-processor pools: every buffer a
+// function obtains from Proc.GetBuf, Proc.Recv, Proc.Exchange or
+// Proc.ExchangeAll must be discharged — recycled back to the pool,
+// returned to the caller, or handed off into a longer-lived structure
+// — before the function is done with it. A buffer with no discharging
+// use at all is a guaranteed pool leak that the runtime allocation
+// guards only observe in aggregate, after the fact.
+//
+// The check is intentionally flow-insensitive: it asks whether a
+// discharging use exists anywhere in the function, not whether one
+// exists on every path. That keeps it free of false positives on the
+// collectives' branch-heavy protocol code, at the cost of missing
+// leaks that occur only on some paths. Leaks on panic paths are
+// deliberately out of scope — a panic aborts the whole Run and the
+// pools are per-run state, so nothing is actually lost.
+//
+// Discharging uses of a tracked buffer v:
+//
+//   - p.Recycle(v) — returned to the pool;
+//   - any appearance inside a return statement — ownership passes to
+//     the caller;
+//   - v (or a reslice v[i:j], which shares the backing array) assigned
+//     to another variable, stored into a field, element or composite
+//     literal, or appended as an element — ownership moves to the new
+//     holder, whose own obligations are that holder's problem;
+//   - v passed directly to a call as a fresh expression (f(p.GetBuf(n))
+//     — an explicit hand-off).
+//
+// Everything else — indexing, ranging, len/cap, copy, payload
+// arguments to Send/Exchange (which copy), combiner arguments — is a
+// borrow and leaves the obligation standing.
+package recyclecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vmprim/internal/analysis/framework"
+	"vmprim/internal/analysis/vmlib"
+)
+
+// Analyzer is the recyclecheck entry point.
+var Analyzer = &framework.Analyzer{
+	Name: "recyclecheck",
+	Doc:  "check that pooled buffers from GetBuf/Recv are recycled, returned, or handed off",
+	Run:  run,
+}
+
+// originMethods obtain pool-owned buffers.
+var originMethods = []string{"GetBuf", "Recv", "Exchange", "ExchangeAll"}
+
+func run(pass *framework.Pass) error {
+	if !vmlib.InScope(pass.Pkg.Path(), vmlib.CollectivePath, vmlib.CorePath, vmlib.AppsPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if vmlib.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+// obligation is one tracked buffer: the variable bound to an origin
+// call, and whether any discharging use was seen.
+type obligation struct {
+	obj        types.Object
+	origin     *ast.CallExpr
+	method     string
+	discharged bool
+}
+
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl) {
+	info := pass.TypesInfo
+	var obls []*obligation
+
+	// Pass 1: find origin calls and classify their immediate context.
+	framework.WalkStack(fn, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !vmlib.IsProcMethod(info, call, originMethods...) {
+			return true
+		}
+		method := vmlib.Callee(info, call).Name()
+		// Walk up through reslices of the fresh buffer (GetBuf(n)[:0])
+		// to the node that gives the call its meaning.
+		top := ast.Node(call)
+		i := len(stack) - 1
+		for ; i >= 0; i-- {
+			if se, ok := stack[i].(*ast.SliceExpr); ok && se.X == top {
+				top = se
+				continue
+			}
+			if pe, ok := stack[i].(*ast.ParenExpr); ok {
+				top = pe
+				continue
+			}
+			break
+		}
+		if i < 0 {
+			return true
+		}
+		switch parent := stack[i].(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "result of %s is dropped; the buffer can never be recycled", method)
+		case *ast.AssignStmt:
+			if obj := lhsObject(info, parent, top); obj != nil {
+				obls = append(obls, &obligation{obj: obj, origin: call, method: method})
+			} else if blankLHS(parent, top) {
+				pass.Reportf(call.Pos(), "result of %s is assigned to _; the buffer can never be recycled", method)
+			}
+			// A non-ident LHS (field, element) is an escaping store:
+			// ownership moves into the structure, nothing to track.
+		case *ast.ValueSpec:
+			for j, v := range parent.Values {
+				if v == top && j < len(parent.Names) {
+					if obj := info.Defs[parent.Names[j]]; obj != nil && parent.Names[j].Name != "_" {
+						obls = append(obls, &obligation{obj: obj, origin: call, method: method})
+					}
+				}
+			}
+		}
+		// Direct use as a call argument, return value, etc. is an
+		// explicit hand-off of the fresh buffer: nothing to track.
+		return true
+	})
+	if len(obls) == 0 {
+		return
+	}
+	byObj := make(map[types.Object][]*obligation, len(obls))
+	for _, o := range obls {
+		byObj[o.obj] = append(byObj[o.obj], o)
+	}
+
+	// Pass 2: scan every use of the tracked variables for a
+	// discharging context.
+	framework.WalkStack(fn, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		os, tracked := byObj[obj]
+		if !tracked {
+			return true
+		}
+		if discharges(info, id, stack) {
+			for _, o := range os {
+				o.discharged = true
+			}
+		}
+		return true
+	})
+
+	for _, o := range obls {
+		if !o.discharged {
+			pass.Reportf(o.origin.Pos(),
+				"buffer %q from %s is never recycled, returned, or handed off (pool leak)",
+				o.obj.Name(), o.method)
+		}
+	}
+}
+
+// lhsObject returns the object of the simple identifier on the LHS
+// matching rhs in a one-to-one assignment, for both := and =.
+func lhsObject(info *types.Info, as *ast.AssignStmt, rhs ast.Node) types.Object {
+	if len(as.Lhs) != len(as.Rhs) {
+		return nil
+	}
+	for i, r := range as.Rhs {
+		if r != rhs {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil
+		}
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	return nil
+}
+
+// blankLHS reports whether rhs is assigned to the blank identifier.
+func blankLHS(as *ast.AssignStmt, rhs ast.Node) bool {
+	if len(as.Lhs) != len(as.Rhs) {
+		return false
+	}
+	for i, r := range as.Rhs {
+		if r == rhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			return ok && id.Name == "_"
+		}
+	}
+	return false
+}
+
+// discharges reports whether this use of a tracked buffer transfers
+// ownership. stack is the chain of enclosing nodes, outermost first.
+func discharges(info *types.Info, id *ast.Ident, stack []ast.Node) bool {
+	// Walk outwards from the identifier through ownership-transparent
+	// wrappers (reslices and parens keep the same backing array).
+	child := ast.Node(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch parent := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = parent
+			continue
+		case *ast.SliceExpr:
+			if parent.X == child {
+				child = parent
+				continue
+			}
+			return false // an index bound like buf[:n] — a read
+		case *ast.ReturnStmt:
+			return true
+		case *ast.CallExpr:
+			return callDischarges(info, parent, child)
+		case *ast.AssignStmt:
+			// Discharge only when the (possibly resliced) buffer itself
+			// is a RHS value; appearing on the LHS or inside an index
+			// computation is not a transfer.
+			for _, r := range parent.Rhs {
+				if r == child {
+					return true
+				}
+			}
+			return false
+		case *ast.KeyValueExpr:
+			if parent.Value != child {
+				return false
+			}
+			child = parent
+			continue
+		case *ast.CompositeLit:
+			// The buffer is stored into a literal; ownership escapes
+			// with the literal regardless of where it flows next.
+			return true
+		case *ast.SendStmt:
+			return parent.Value == child
+		case *ast.IndexExpr:
+			// Indexing a slice-of-slices (the ExchangeAll result)
+			// extracts an owned buffer: the element use decides.
+			// Indexing a flat buffer is an element read, and a use as
+			// the index is a read of something else entirely.
+			if parent.X == child {
+				if tv, ok := info.Types[parent]; ok {
+					if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+						child = parent
+						continue
+					}
+				}
+			}
+			return false
+		case *ast.UnaryExpr, *ast.BinaryExpr, *ast.StarExpr, *ast.TypeAssertExpr:
+			return false
+		case *ast.RangeStmt:
+			return false // iteration is a read
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// callDischarges decides whether passing the buffer as arg to call
+// transfers ownership: Recycle always does; append does for element
+// arguments (not for the slice being grown, and not for v... which
+// copies); every other call is a borrow.
+func callDischarges(info *types.Info, call *ast.CallExpr, arg ast.Node) bool {
+	if vmlib.IsProcMethod(info, call, "Recycle") {
+		return true
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "append" {
+			for i, a := range call.Args {
+				if a == arg {
+					return i > 0 && call.Ellipsis == 0
+				}
+			}
+		}
+	}
+	return false
+}

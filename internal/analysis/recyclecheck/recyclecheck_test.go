@@ -1,0 +1,17 @@
+package recyclecheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vmprim/internal/analysis/analysistest"
+	"vmprim/internal/analysis/recyclecheck"
+)
+
+func TestRecycleCheck(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), recyclecheck.Analyzer,
+		"vmprim/internal/apps/rc",
+		// Outside the audit scope: the same leak, zero findings.
+		"vmprim/internal/other/rcout",
+	)
+}

@@ -1,0 +1,132 @@
+// Package simdeterminism statically protects the simulator's
+// bit-identical-times guarantee: the EXPERIMENTS tables are reproduced
+// digit for digit on every host, which holds only because nothing in
+// the simulation layer reads wall-clock time, process-seeded
+// randomness, or Go's randomized map iteration order in a way that
+// feeds message traffic or reduction order.
+//
+// Inside the simulation packages (hypercube, collective, core, apps,
+// router) the analyzer forbids, in non-test files:
+//
+//   - time.Now, time.Since, time.Until and time.Sleep — wall-clock
+//     reads and waits (time.Duration values and timers used for the
+//     deadlock watchdog are fine: they never feed the virtual clock);
+//   - package-level math/rand and math/rand/v2 functions, which draw
+//     from the process-global generator seeded differently every run;
+//     explicitly seeded generators (rand.New(rand.NewSource(seed)))
+//     are untouched;
+//   - ranging over a map when the loop body sends messages, calls a
+//     collective, or opens spans: map order varies per execution, so
+//     message order, floating-point reduction order, and the
+//     SPMD span-discovery order would too.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vmprim/internal/analysis/framework"
+	"vmprim/internal/analysis/vmlib"
+)
+
+// Analyzer is the simdeterminism entry point.
+var Analyzer = &framework.Analyzer{
+	Name: "simdeterminism",
+	Doc:  "forbid wall-clock reads, global rand, and map-order-dependent communication in the simulator",
+	Run:  run,
+}
+
+// forbiddenTime are the wall-clock entry points of package time.
+var forbiddenTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+}
+
+// randConstructors are the math/rand functions that build explicitly
+// seeded generators and are therefore allowed.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
+}
+
+func run(pass *framework.Pass) error {
+	if !vmlib.InScope(pass.Pkg.Path(),
+		vmlib.HypercubePath, vmlib.CollectivePath, vmlib.CorePath, vmlib.AppsPath, vmlib.RouterPath) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if vmlib.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCall flags wall-clock and global-rand calls.
+func checkCall(pass *framework.Pass, call *ast.CallExpr) {
+	f := vmlib.Callee(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	if sig, ok := f.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods (rand.Rand.Float64, Timer.Reset) are fine
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		if forbiddenTime[f.Name()] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; simulated times must depend only on the cost model",
+				f.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[f.Name()] {
+			pass.Reportf(call.Pos(),
+				"rand.%s draws from the process-global generator; use rand.New(rand.NewSource(seed)) so runs are reproducible",
+				f.Name())
+		}
+	}
+}
+
+// checkMapRange flags map-ordered loops that feed communication.
+func checkMapRange(pass *framework.Pass, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var culprit *ast.CallExpr
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if culprit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if vmlib.IsProcMethod(pass.TypesInfo, call, "Send", "Exchange", "ExchangeAll", "Barrier", "BeginSpan") ||
+			vmlib.IsCollectiveCall(pass.TypesInfo, call) {
+			culprit = call
+			return false
+		}
+		return true
+	})
+	if culprit != nil {
+		name := "a communication call"
+		if f := vmlib.Callee(pass.TypesInfo, culprit); f != nil {
+			name = f.Name()
+		}
+		pass.Reportf(rng.Pos(),
+			"map iteration order is nondeterministic and this loop feeds %s; iterate over sorted keys instead",
+			name)
+	}
+}

@@ -1,0 +1,14 @@
+package simdeterminism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vmprim/internal/analysis/analysistest"
+	"vmprim/internal/analysis/simdeterminism"
+)
+
+func TestSimDeterminism(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), simdeterminism.Analyzer,
+		"vmprim/internal/apps/det")
+}

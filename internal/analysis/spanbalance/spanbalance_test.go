@@ -1,0 +1,14 @@
+package spanbalance_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vmprim/internal/analysis/analysistest"
+	"vmprim/internal/analysis/spanbalance"
+)
+
+func TestSpanBalance(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), spanbalance.Analyzer,
+		"vmprim/internal/apps/span")
+}

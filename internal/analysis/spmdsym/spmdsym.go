@@ -1,0 +1,349 @@
+// Package spmdsym statically enforces the SPMD-symmetry contract of
+// the simulator: inside code that runs as an SPMD body, collective
+// operations (and the BeginSpan/EndSpan pair, whose tree discovery
+// relies on every processor opening the same spans in the same order)
+// must not be control-dependent on processor identity. A collective
+// guarded by `if p.ID() == 0` is executed by one processor and skipped
+// by the rest, which deadlocks the run — the watchdog catches it only
+// after a full timeout window, and only on the executions that reach
+// the guard.
+//
+// Processor identity flows from Proc.ID (and the grid coordinates
+// Env.GridRow/GridCol, which are derived from it). The analyzer taints
+// every local variable assigned from an expression involving those
+// sources, then flags any collective call, early return, break or
+// continue that sits inside an if/switch/loop whose condition reads a
+// tainted value.
+//
+// The check is applied to the packages built on top of the collective
+// layer (core, apps, bench). The collective and hypercube packages
+// themselves are exempt: their internals are deliberately
+// rank-asymmetric — a binomial-tree broadcast is nothing but
+// rank-dependent sends and receives — and their point-to-point
+// structure is what the collectives' own protocol tests verify.
+//
+// Helpers are handled interprocedurally within a package: a function
+// that (transitively) performs a collective is itself treated as one
+// at its call sites, so hiding a Reduce inside a helper and calling
+// the helper under a rank guard is still flagged.
+package spmdsym
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"vmprim/internal/analysis/framework"
+	"vmprim/internal/analysis/vmlib"
+)
+
+// Analyzer is the spmdsym entry point.
+var Analyzer = &framework.Analyzer{
+	Name: "spmdsym",
+	Doc:  "check that collectives are not control-dependent on processor identity inside SPMD code",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) error {
+	if !vmlib.InScope(pass.Pkg.Path(), vmlib.CorePath, vmlib.AppsPath, vmlib.BenchPath) {
+		return nil
+	}
+	// Interprocedural summary: which package-level functions
+	// (transitively) perform a collective operation.
+	collectiveFns := summarize(pass)
+
+	isCollective := func(call *ast.CallExpr) bool {
+		if vmlib.IsCollectiveCall(pass.TypesInfo, call) {
+			return true
+		}
+		f := vmlib.Callee(pass.TypesInfo, call)
+		return f != nil && collectiveFns[f]
+	}
+
+	for _, file := range pass.Files {
+		if vmlib.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFunc(pass, fn, isCollective)
+			}
+		}
+	}
+	return nil
+}
+
+// summarize computes, to a fixpoint, the set of functions declared in
+// this package whose bodies (transitively) contain a collective call.
+func summarize(pass *framework.Pass) map[*types.Func]bool {
+	bodies := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+					bodies[obj] = fn
+				}
+			}
+		}
+	}
+	summary := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for obj, fn := range bodies {
+			if summary[obj] {
+				continue
+			}
+			found := false
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if found {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if vmlib.IsCollectiveCall(pass.TypesInfo, call) {
+					found = true
+					return false
+				}
+				if f := vmlib.Callee(pass.TypesInfo, call); f != nil && summary[f] {
+					found = true
+					return false
+				}
+				return true
+			})
+			if found {
+				summary[obj] = true
+				changed = true
+			}
+		}
+	}
+	return summary
+}
+
+// checkFunc taints identity-derived locals and flags collectives under
+// tainted control.
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl, isCollective func(*ast.CallExpr) bool) {
+	info := pass.TypesInfo
+	tainted := make(map[types.Object]bool)
+
+	// exprTainted reports whether e reads processor identity: an ID /
+	// GridRow / GridCol call, or a tainted variable. Two sanitizers:
+	// the result of a collective is replicated — identical on every
+	// processor even when its arguments differ per processor — so a
+	// collective call contributes no taint; and a function literal in
+	// the expression (the SPMD body handed to Machine.Run) does not
+	// taint the host-side result of the call it is passed to.
+	exprTainted := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if vmlib.IsProcMethod(info, n, "ID") ||
+					vmlib.IsEnvMethod(info, n, "GridRow", "GridCol") {
+					found = true
+					return false
+				}
+				if isCollective(n) {
+					return false // replicated result: no taint in, none out
+				}
+			case *ast.Ident:
+				if obj := info.Uses[n]; obj != nil && tainted[obj] {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	// Propagate taint through local assignments to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i, r := range n.Rhs {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && exprTainted(r) {
+							changed = taintIdent(info, tainted, id) || changed
+						}
+					}
+				} else if len(n.Rhs) == 1 && exprTainted(n.Rhs[0]) {
+					for _, l := range n.Lhs {
+						if id, ok := l.(*ast.Ident); ok {
+							changed = taintIdent(info, tainted, id) || changed
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if exprTainted(v) {
+						if len(n.Names) == len(n.Values) {
+							changed = taintIdent(info, tainted, n.Names[i]) || changed
+						} else {
+							for _, name := range n.Names {
+								changed = taintIdent(info, tainted, name) || changed
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Each function literal is its own SPMD scope: the closure passed
+	// to Machine.Run is the SPMD body while the enclosing function is
+	// host code, so divergence is judged per scope, never across a
+	// closure boundary.
+	reported := make(map[token.Pos]bool)
+	scopes := []*ast.BlockStmt{fn.Body}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scopes = append(scopes, lit.Body)
+		}
+		return true
+	})
+	for _, scope := range scopes {
+		checkScope(pass, scope, isCollective, exprTainted, reported)
+	}
+}
+
+// checkScope flags identity-dependent collectives and early returns
+// within one function scope (a declared body or one closure body),
+// never descending into nested literals.
+func checkScope(pass *framework.Pass, scope *ast.BlockStmt, isCollective func(*ast.CallExpr) bool, exprTainted func(ast.Expr) bool, reported map[token.Pos]bool) {
+	// Positions of the scope's non-deferred collective calls. An early
+	// return only diverges processors when it skips a collective the
+	// other processors go on to execute; deferred calls (the idiomatic
+	// defer e.EndSpan()) run on every exit and cannot be skipped.
+	var collPos []token.Pos
+	ast.Inspect(scope, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if isCollective(n) {
+				collPos = append(collPos, n.Pos())
+			}
+		}
+		return true
+	})
+	collectiveAfter := func(pos token.Pos) bool {
+		for _, p := range collPos {
+			if p > pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Find tainted control statements and flag collectives and
+	// divergent early exits inside them. Nested tainted conditions
+	// would re-flag the same call once per level; report each position
+	// once.
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		var cond ast.Expr
+		var body []ast.Node
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			cond = s.Cond
+			body = append(body, s.Body)
+			if s.Else != nil {
+				body = append(body, s.Else)
+			}
+		case *ast.SwitchStmt:
+			if s.Tag == nil {
+				// Condition-less switch: the case guards run in order,
+				// so everything from the first tainted guard on is
+				// identity-dependent — reaching a later case requires
+				// the tainted guard to have failed. Earlier cases are
+				// untainted territory.
+				for i, c := range s.Body.List {
+					cc := c.(*ast.CaseClause)
+					for _, e := range cc.List {
+						if exprTainted(e) {
+							cond = e
+							break
+						}
+					}
+					if cond != nil {
+						for _, later := range s.Body.List[i:] {
+							body = append(body, later)
+						}
+						break
+					}
+				}
+			} else {
+				cond = s.Tag
+				body = append(body, s.Body)
+			}
+		case *ast.ForStmt:
+			cond = s.Cond
+			body = append(body, s.Body)
+		default:
+			return true
+		}
+		if cond == nil || !exprTainted(cond) {
+			return true
+		}
+		for _, b := range body {
+			flagIn(pass, b, isCollective, collectiveAfter, reported)
+		}
+		return true
+	})
+}
+
+// flagIn reports every collective call, and every early return that
+// skips a later collective, lexically inside root.
+func flagIn(pass *framework.Pass, root ast.Node, isCollective func(*ast.CallExpr) bool, collectiveAfter func(token.Pos) bool, reported map[token.Pos]bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its own scope, checked separately
+		case *ast.CallExpr:
+			if isCollective(n) && !reported[n.Pos()] {
+				reported[n.Pos()] = true
+				name := "collective"
+				if f := vmlib.Callee(pass.TypesInfo, n); f != nil {
+					name = f.Name()
+				}
+				pass.Reportf(n.Pos(),
+					"%s is control-dependent on processor identity: processors diverge and the run deadlocks",
+					name)
+			}
+		case *ast.ReturnStmt:
+			if collectiveAfter(n.Pos()) && !reported[n.Pos()] {
+				reported[n.Pos()] = true
+				pass.Reportf(n.Pos(),
+					"early return under a processor-identity condition skips the collective(s) after it: processors diverge and the run deadlocks")
+			}
+		}
+		return true
+	})
+}
+
+// taintIdent marks id's object tainted, reporting whether that is new
+// information.
+func taintIdent(info *types.Info, tainted map[types.Object]bool, id *ast.Ident) bool {
+	obj := info.Defs[id]
+	if obj == nil {
+		obj = info.Uses[id]
+	}
+	if obj == nil || tainted[obj] {
+		return false
+	}
+	tainted[obj] = true
+	return true
+}

@@ -1,0 +1,14 @@
+package spmdsym_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vmprim/internal/analysis/analysistest"
+	"vmprim/internal/analysis/spmdsym"
+)
+
+func TestSPMDSym(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), spmdsym.Analyzer,
+		"vmprim/internal/apps/spmd")
+}

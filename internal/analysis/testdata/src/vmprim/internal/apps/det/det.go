@@ -1,0 +1,60 @@
+// Fixtures for the simdeterminism analyzer. These import the real
+// standard library (resolved from compiler export data), not stubs.
+package det
+
+import (
+	"math/rand"
+	"time"
+
+	"vmprim/internal/hypercube"
+)
+
+// wallClock reads host time inside the simulation layer.
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// wallSleep waits on host time.
+func wallSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the wall clock`
+}
+
+// durations are values, not clock reads: fine.
+func watchdogWindow(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// globalRand draws from the process-global generator.
+func globalRand() float64 {
+	return rand.Float64() // want `rand\.Float64 draws from the process-global generator`
+}
+
+// seededRand builds an explicit generator: reproducible, allowed.
+func seededRand(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// mapOrderSend lets Go's randomized map order decide message order.
+func mapOrderSend(p *hypercube.Proc, pending map[int][]float64) {
+	for d, words := range pending { // want `map iteration order is nondeterministic and this loop feeds Send`
+		p.Send(d, 1, words)
+	}
+}
+
+// sortedSend iterates a deterministic key slice instead.
+func sortedSend(p *hypercube.Proc, pending map[int][]float64, keys []int) {
+	for _, d := range keys {
+		p.Send(d, 1, pending[d])
+	}
+}
+
+// mapOrderLocal ranges a map without communicating: out of scope for
+// this check (integer folds are order-independent).
+func mapOrderLocal(counts map[int]int) int {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}

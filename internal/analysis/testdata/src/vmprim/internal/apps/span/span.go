@@ -1,0 +1,137 @@
+// Fixtures for the spanbalance analyzer.
+package span
+
+import (
+	"vmprim/internal/core"
+	"vmprim/internal/hypercube"
+)
+
+// balancedDefer is the canonical shape: open, defer the close, return
+// freely from anywhere.
+func balancedDefer(p *hypercube.Proc, quick bool) {
+	p.BeginSpan("op")
+	defer p.EndSpan()
+	if quick {
+		return
+	}
+	p.Compute(1)
+}
+
+// balancedInline closes explicitly on the single path.
+func balancedInline(p *hypercube.Proc) {
+	p.BeginSpan("op")
+	p.Compute(1)
+	p.EndSpan()
+}
+
+// earlyReturnMisses forgets the close on the error path.
+func earlyReturnMisses(p *hypercube.Proc, bad bool) bool {
+	p.BeginSpan("op")
+	if bad {
+		return false // want `return leaves 1 span\(s\) open on this path`
+	}
+	p.EndSpan()
+	return true
+}
+
+// earlyReturnBalanced closes before each exit, the gauss.go pivot
+// idiom: no defer, but every path ends the span itself.
+func earlyReturnBalanced(p *hypercube.Proc, bad bool) bool {
+	p.BeginSpan("op")
+	if bad {
+		p.EndSpan()
+		return false
+	}
+	p.Compute(1)
+	p.EndSpan()
+	return true
+}
+
+// deferInLoop registers one close per iteration but they all run at
+// function return: the classic leak.
+func deferInLoop(p *hypercube.Proc, n int) {
+	for i := 0; i < n; i++ { // want `loop body changes open-span depth by 1 per iteration`
+		p.BeginSpan("iter")
+		defer p.EndSpan() // want `deferred EndSpan inside a loop runs at function return`
+	}
+}
+
+// loopBalanced opens and closes within each iteration.
+func loopBalanced(p *hypercube.Proc, n int) {
+	for i := 0; i < n; i++ {
+		p.BeginSpan("iter")
+		p.Compute(1)
+		p.EndSpan()
+	}
+}
+
+// fallsOffOpen reaches the end of the function with the span open.
+func fallsOffOpen(p *hypercube.Proc) {
+	p.BeginSpan("op")
+	p.Compute(1)
+} // want `function ends with 1 span\(s\) still open`
+
+// branchMismatch closes in one arm of the if only.
+func branchMismatch(p *hypercube.Proc, b bool) {
+	p.BeginSpan("op")
+	if b { // want `span depth differs between the branches of this if`
+		p.EndSpan()
+	}
+}
+
+// extraEnd closes a span that is not open.
+func extraEnd(p *hypercube.Proc) {
+	p.BeginSpan("op")
+	p.EndSpan()
+	p.EndSpan() // want `EndSpan without an open span on this path`
+}
+
+// switchBalanced: all cases agree, span closed after.
+func switchBalanced(p *hypercube.Proc, k int) {
+	p.BeginSpan("op")
+	switch k {
+	case 0:
+		p.Compute(1)
+	default:
+		p.Compute(2)
+	}
+	p.EndSpan()
+}
+
+// switchMismatch: one case closes the span, the others do not.
+func switchMismatch(p *hypercube.Proc, k int) {
+	p.BeginSpan("op")
+	switch k { // want `span depth differs between the cases of this switch`
+	case 0:
+		p.EndSpan()
+	default:
+		p.Compute(2)
+	}
+}
+
+// envSpans balance through the core.Env forwarding methods too.
+func envSpans(e *core.Env, quick bool) {
+	e.BeginSpan("op")
+	defer e.EndSpan()
+	if quick {
+		return
+	}
+	e.DotVec()
+}
+
+// closureChecked: a literal's spans balance against its own body.
+func closureChecked(p *hypercube.Proc) func() {
+	return func() {
+		p.BeginSpan("cb")
+		p.Compute(1)
+	} // want `function ends with 1 span\(s\) still open`
+}
+
+// panicPath: a panic aborts the run, so the open span is moot.
+func panicPath(p *hypercube.Proc, bad bool) {
+	p.BeginSpan("op")
+	if bad {
+		panic("bad")
+	}
+	p.EndSpan()
+}

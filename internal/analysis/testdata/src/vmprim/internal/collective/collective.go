@@ -1,0 +1,16 @@
+// Package collective is a typecheck-only stub of the real collective
+// layer for the analyzer fixtures: package-level functions whose
+// first parameter is a *hypercube.Proc, which is the signature
+// convention vmlib.IsCollectiveCall keys on.
+package collective
+
+import "vmprim/internal/hypercube"
+
+func Bcast(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 { return nil }
+
+func AllGather(p *hypercube.Proc, mask, tag int, piece []float64) []float64 { return nil }
+
+func AllReduce(p *hypercube.Proc, mask, tag int, data []float64, comb func(dst, src []float64)) {}
+
+// Rel is deliberately not a collective: no Proc parameter.
+func Rel(addr, mask int) int { return 0 }

@@ -1,0 +1,11 @@
+// Package rcout leaks exactly like the rc fixtures but sits outside
+// every analyzer's audit scope; nothing here may be reported.
+package rcout
+
+import "vmprim/internal/hypercube"
+
+func leakOutOfScope(p *hypercube.Proc) float64 {
+	buf := p.GetBuf(8)
+	buf[0] = 1
+	return buf[0]
+}

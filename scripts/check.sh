@@ -1,7 +1,8 @@
 #!/bin/sh
-# Pre-PR gate: formatting, vet, build, full tests under the race
-# detector (which also exercises the steady-state allocation guards in
-# internal/hypercube and internal/core). Run from the repository root:
+# Pre-PR gate: formatting, module hygiene, vet, the vmlint static
+# analyzers, build, full tests under the race detector (which also
+# exercises the steady-state allocation guards in internal/hypercube
+# and internal/core). Run from the repository root:
 #
 #	./scripts/check.sh
 #
@@ -18,8 +19,26 @@ if [ -n "$fmt" ]; then
 	exit 1
 fi
 
+# The module is dependency-free and must stay that way: tidy may not
+# want to change go.mod.
+if ! go mod tidy -diff >/dev/null 2>&1; then
+	echo "go mod tidy would change go.mod/go.sum; run it and commit" >&2
+	go mod tidy -diff >&2 || true
+	exit 1
+fi
+
 go vet ./...
 go build ./...
+
+# vmlint: the repo's own analyzers (SPMD symmetry, span balance,
+# buffer ownership, determinism). Build the tool once, then lint
+# before spending time on tests — a lint finding is file:line:col
+# actionable, a deadlocked test run is a 30s watchdog timeout.
+vmlint_bin=$(mktemp)
+go build -o "$vmlint_bin" ./cmd/vmlint
+"$vmlint_bin" ./... || { rm -f "$vmlint_bin"; echo "vmlint failed" >&2; exit 1; }
+rm -f "$vmlint_bin"
+
 go test ./...
 go test -race ./internal/...
 # The profiler invariant tests (bit-identity, bucket reconciliation)
