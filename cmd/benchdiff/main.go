@@ -1,0 +1,134 @@
+// Command benchdiff compares two benchmark snapshots in the
+// BENCH_*.json schema and gates on regressions. It is the repo's
+// continuous-benchmark gate: scripts/check.sh and CI run a fresh
+// `hostbench -benchtime 1x -json` and diff it against the last
+// committed snapshot.
+//
+// Arguments name a file and optionally a section as file.json:section;
+// without a section, "current" is used (or the file's only section).
+//
+//	go run ./cmd/benchdiff -old BENCH_2.json:current -new fresh.json
+//
+// Two regimes, matching what the numbers mean:
+//
+//   - sim_us_per_op is simulated machine time, deterministic by
+//     construction: any difference is a correctness regression. It
+//     gates (exit 1) unless -gate-sim=false.
+//   - ns_per_op is host time, noisy across machines and CI runs: a
+//     relative change beyond -host-threshold is reported, and gates
+//     only under -gate-host.
+//
+// Benchmarks present on only one side are reported and gate with
+// -gate-sim (a silently dropped benchmark must not pass the sim gate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"vmprim/internal/bench"
+)
+
+func main() {
+	oldArg := flag.String("old", "", "baseline snapshot, file.json[:section] (required)")
+	newArg := flag.String("new", "", "candidate snapshot, file.json[:section] (required)")
+	hostThreshold := flag.Float64("host-threshold", 0.20, "relative ns/op increase reported as a host regression (0.20 = +20%)")
+	gateSim := flag.Bool("gate-sim", true, "exit nonzero when simulated times differ (they are deterministic and must not)")
+	gateHost := flag.Bool("gate-host", false, "exit nonzero on host regressions too (off by default: host time is noisy in CI)")
+	flag.Parse()
+	if *oldArg == "" || *newArg == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	oldRun, oldName, err := loadRun(*oldArg)
+	if err != nil {
+		fatal(err)
+	}
+	newRun, newName, err := loadRun(*newArg)
+	if err != nil {
+		fatal(err)
+	}
+
+	deltas := bench.CompareRuns(oldRun, newRun, *hostThreshold)
+	fmt.Printf("benchdiff: %s  vs  %s\n", oldName, newName)
+	if oldRun.Dim != newRun.Dim || oldRun.N != newRun.N {
+		fmt.Printf("warning: configurations differ (d=%d n=%d vs d=%d n=%d); host ratios are not meaningful\n",
+			oldRun.Dim, oldRun.N, newRun.Dim, newRun.N)
+	}
+	fmt.Printf("%-14s %14s %14s %8s   %14s %s\n", "benchmark", "old ns/op", "new ns/op", "host", "sim us/op", "sim")
+	for _, d := range deltas {
+		switch {
+		case d.New == nil:
+			fmt.Printf("%-14s %14d %14s %8s   %14.1f %s\n", d.Name, d.Old.NsPerOp, "-", "-", d.Old.SimUsPerOp, "MISSING in new")
+		case d.Old == nil:
+			fmt.Printf("%-14s %14s %14d %8s   %14.1f %s\n", d.Name, "-", d.New.NsPerOp, "-", d.New.SimUsPerOp, "new benchmark")
+		default:
+			host := "n/a"
+			if !math.IsNaN(d.HostRatio) {
+				host = fmt.Sprintf("%+.1f%%", (d.HostRatio-1)*100)
+			}
+			sim := "ok"
+			if d.SimChanged {
+				sim = fmt.Sprintf("CHANGED (%.3f -> %.3f)", d.Old.SimUsPerOp, d.New.SimUsPerOp)
+			}
+			mark := ""
+			if d.HostRegressed {
+				mark = "  << host regression"
+			}
+			fmt.Printf("%-14s %14d %14d %8s   %14.1f %s%s\n",
+				d.Name, d.Old.NsPerOp, d.New.NsPerOp, host, d.New.SimUsPerOp, sim, mark)
+		}
+	}
+
+	v := bench.Summarize(deltas)
+	failed := false
+	if len(v.SimMismatches) > 0 {
+		fmt.Printf("\nsimulated time changed for: %s\n", strings.Join(v.SimMismatches, ", "))
+		fmt.Println("sim_us_per_op is deterministic; a change means the modelled machine behaves differently.")
+		failed = failed || *gateSim
+	}
+	if len(v.Missing) > 0 {
+		fmt.Printf("\nbenchmarks on one side only: %s\n", strings.Join(v.Missing, ", "))
+		failed = failed || *gateSim
+	}
+	if len(v.HostRegressions) > 0 {
+		fmt.Printf("\nhost regressions beyond %+.0f%%: %s\n", *hostThreshold*100, strings.Join(v.HostRegressions, ", "))
+		failed = failed || *gateHost
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: gate passed")
+}
+
+// loadRun resolves a file.json[:section] argument.
+func loadRun(arg string) (*bench.SnapshotRun, string, error) {
+	path, section := arg, ""
+	if i := strings.LastIndex(arg, ":"); i > 0 && !strings.Contains(arg[i+1:], "/") && strings.Contains(arg[:i], ".json") {
+		path, section = arg[:i], arg[i+1:]
+	}
+	f, err := bench.LoadSnapshotFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	run, err := f.Section(section)
+	if err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	name := path
+	if section != "" {
+		name += ":" + section
+	} else {
+		name += ":current"
+	}
+	return run, name, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

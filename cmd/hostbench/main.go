@@ -4,11 +4,16 @@
 // change when host performance does). It exists to track the engine's
 // own overhead — goroutine scheduling, message buffering, kernel
 // dispatch — across revisions; see EXPERIMENTS.md for the methodology
-// and BENCH_1.json for recorded snapshots.
+// and BENCH_*.json for recorded snapshots.
 //
 // Usage:
 //
 //	go run ./cmd/hostbench -d 8 -n 512 -benchtime 2s -o out.json
+//
+// With -json the output is a complete BENCH_*.json-schema document (a
+// host block plus a single "current" section), directly comparable
+// with the committed snapshots via cmd/benchdiff; without it the bare
+// section object is emitted, as earlier revisions did.
 package main
 
 import (
@@ -27,37 +32,6 @@ import (
 	"vmprim/internal/hypercube"
 )
 
-type result struct {
-	Name        string  `json:"name"`
-	NsPerOp     int64   `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	SimUsPerOp  float64 `json:"sim_us_per_op"`
-	Iterations  int     `json:"iterations"`
-	// Sim holds the per-processor mean virtual-time buckets of the
-	// last run, present only under -profile (which also makes the
-	// ns/op column measure the profiler's own host overhead).
-	Sim *simBuckets `json:"sim_buckets,omitempty"`
-}
-
-type simBuckets struct {
-	ComputeUs  float64 `json:"compute_us"`
-	StartupUs  float64 `json:"startup_us"`
-	TransferUs float64 `json:"transfer_us"`
-	IdleUs     float64 `json:"idle_us"`
-}
-
-type report struct {
-	Label      string   `json:"label,omitempty"`
-	Dim        int      `json:"dim"`
-	N          int      `json:"n"`
-	Benchtime  string   `json:"benchtime"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Timestamp  string   `json:"timestamp"`
-	Results    []result `json:"results"`
-}
-
 func main() {
 	dim := flag.Int("d", 8, "cube dimension (2^d processors)")
 	n := flag.Int("n", 512, "matrix order")
@@ -65,6 +39,7 @@ func main() {
 	out := flag.String("o", "", "output JSON path (default stdout)")
 	label := flag.String("label", "", "free-form label recorded in the report")
 	prof := flag.Bool("profile", false, "run with the virtual-time profiler on and record sim bucket splits (also measures profiler host overhead)")
+	asFile := flag.Bool("json", false, "emit a full BENCH_*.json-schema document (host block + \"current\" section) instead of the bare section")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -110,7 +85,7 @@ func main() {
 		{"Transpose", func(e *core.Env, a *core.Matrix) { e.Transpose(a) }},
 	}
 
-	rep := report{
+	run := bench.SnapshotRun{
 		Label:      *label,
 		Dim:        *dim,
 		N:          *n,
@@ -134,7 +109,7 @@ func main() {
 				sim = elapsed
 			}
 		})
-		r := result{
+		r := bench.SnapshotResult{
 			Name:        pr.name,
 			NsPerOp:     br.NsPerOp(),
 			AllocsPerOp: br.AllocsPerOp(),
@@ -146,7 +121,7 @@ func main() {
 			if pf := m.Profile(); pf != nil {
 				inv := 1 / float64(pf.P)
 				b := pf.Root.Buckets
-				r.Sim = &simBuckets{
+				r.Sim = &bench.SimBuckets{
 					ComputeUs:  float64(b.Compute) * inv,
 					StartupUs:  float64(b.Startup) * inv,
 					TransferUs: float64(b.Transfer) * inv,
@@ -156,10 +131,22 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "%-14s %10d ns/op %8d allocs/op %10d B/op %12.1f sim-us/op\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.SimUsPerOp)
-		rep.Results = append(rep.Results, r)
+		run.Results = append(run.Results, r)
 	}
 
-	buf, err := json.MarshalIndent(rep, "", "  ")
+	var doc any = &run
+	if *asFile {
+		doc = &bench.SnapshotFile{
+			Host: &bench.HostInfo{
+				GOOS:       runtime.GOOS,
+				GOARCH:     runtime.GOARCH,
+				GoVersion:  runtime.Version(),
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+			},
+			Sections: map[string]*bench.SnapshotRun{"current": &run},
+		}
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hostbench:", err)
 		os.Exit(1)

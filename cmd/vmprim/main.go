@@ -12,10 +12,21 @@
 //	                         stdout, Chrome trace JSON to
 //	                         vmprim-trace-e4.json (load in Perfetto)
 //	vmprim -profile E1 -json machine-readable profile on stdout
+//	vmprim -profile E1 -metrics-out m.json
+//	                         also snapshot the run's metrics registry
+//	                         (a .prom suffix selects Prometheus text)
+//	vmprim -demo-deadlock    run a deliberately deadlocked program and
+//	                         print its post-mortem report
+//
+// Every mode accepts -recv-timeout to change the deadlock watchdog's
+// default arming interval (default 30s; raise it under heavy host
+// load, lower it when iterating on a hang) and -postmortem-out to
+// write the structured post-mortem JSON of a failed run.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +35,8 @@ import (
 	"time"
 
 	"vmprim/internal/bench"
+	"vmprim/internal/costmodel"
+	"vmprim/internal/hypercube"
 )
 
 func main() {
@@ -32,15 +45,29 @@ func main() {
 	profile := flag.String("profile", "", "profile a representative run of an experiment (E1..E5)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	traceOut := flag.String("trace-out", "", "Chrome trace output path for -profile (default vmprim-trace-<id>.json, '-' to skip)")
+	recvTimeout := flag.Duration("recv-timeout", 0, "deadlock watchdog arming interval (0 keeps the 30s default)")
+	pmOut := flag.String("postmortem-out", "", "write the post-mortem JSON of a failed run to this path")
+	metricsOut := flag.String("metrics-out", "", "write the metrics snapshot of a -profile or -demo-deadlock run (.prom suffix selects Prometheus text, otherwise JSON)")
+	demoDeadlock := flag.Bool("demo-deadlock", false, "run a deliberately deadlocked exchange and print its post-mortem")
 	flag.Parse()
+
+	if *recvTimeout > 0 {
+		hypercube.SetDefaultRecvTimeout(*recvTimeout)
+	}
 
 	switch {
 	case *list:
 		for _, e := range bench.All() {
 			fmt.Printf("%-3s  %s\n", e.ID, e.Title)
 		}
+	case *demoDeadlock:
+		if err := runDemoDeadlock(*jsonOut, *pmOut, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "demo-deadlock: %v\n", err)
+			os.Exit(1)
+		}
 	case *profile != "":
-		if err := runProfile(*profile, *jsonOut, *traceOut); err != nil {
+		if err := runProfile(*profile, *jsonOut, *traceOut, *metricsOut); err != nil {
+			writePostMortem(err, *pmOut)
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *profile, err)
 			os.Exit(1)
 		}
@@ -50,6 +77,7 @@ func main() {
 	case strings.EqualFold(*exp, "all"):
 		for _, e := range bench.All() {
 			if err := runOne(e, *jsonOut); err != nil {
+				writePostMortem(err, *pmOut)
 				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 				os.Exit(1)
 			}
@@ -61,6 +89,7 @@ func main() {
 			os.Exit(2)
 		}
 		if err := runOne(e, *jsonOut); err != nil {
+			writePostMortem(err, *pmOut)
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
@@ -95,10 +124,110 @@ func writeTableJSON(w io.Writer, t *bench.Table) error {
 	}{t.ID, t.Title, t.Columns, t.Rows, t.Notes})
 }
 
+// writePostMortem extracts the structured post-mortem attached to a
+// failed run's error, if any, and writes it as JSON to path.
+func writePostMortem(err error, path string) {
+	if path == "" || err == nil {
+		return
+	}
+	var re *hypercube.RunError
+	if !errors.As(err, &re) || re.Report == nil {
+		fmt.Fprintf(os.Stderr, "no post-mortem attached to the error; %s not written\n", path)
+		return
+	}
+	f, ferr := os.Create(path)
+	if ferr != nil {
+		fmt.Fprintln(os.Stderr, ferr)
+		return
+	}
+	if werr := re.Report.WriteJSON(f); werr != nil {
+		fmt.Fprintln(os.Stderr, werr)
+	}
+	if cerr := f.Close(); cerr != nil {
+		fmt.Fprintln(os.Stderr, cerr)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "wrote post-mortem to %s\n", path)
+}
+
+// writeMetrics writes a machine's metrics snapshot to path; a .prom
+// suffix selects the Prometheus text exposition, anything else JSON.
+func writeMetrics(m *hypercube.Machine, path string) error {
+	if path == "" {
+		return nil
+	}
+	snap := m.Metrics().Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".prom") {
+		err = snap.WritePrometheus(f)
+	} else {
+		err = snap.WriteJSON(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", path)
+	}
+	return err
+}
+
+// runDemoDeadlock executes a deliberately wrong SPMD program — the
+// procs pair off for an Exchange but disagree about the dimension, so
+// every processor blocks in Recv on a message that never comes — and
+// prints the post-mortem report the watchdog produces. Exit status is
+// nonzero unless the report shows every processor blocked, so
+// scripts/check.sh can validate the post-mortem path end to end.
+func runDemoDeadlock(jsonOut bool, pmOut, metricsOut string) error {
+	m, err := hypercube.New(2, costmodel.CM2())
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	// Short timeout: the program is known-deadlocked, no point waiting
+	// out the default 30s. An explicit -recv-timeout still applies via
+	// the machine-wide default set in main.
+	if m.RecvTimeout() > time.Second {
+		m.SetRecvTimeout(time.Second)
+	}
+	_, err = m.Run(func(p *hypercube.Proc) {
+		// Procs 0 and 3 exchange on dim 0; procs 1 and 2 on dim 1.
+		// Nobody's partner agrees, so all four block after sending.
+		d := (p.ID() & 1) ^ ((p.ID() >> 1) & 1)
+		p.Exchange(d, 7, []float64{float64(p.ID()), 1, 2})
+	})
+	if err == nil {
+		return fmt.Errorf("demo program did not deadlock")
+	}
+	var re *hypercube.RunError
+	if !errors.As(err, &re) || re.Report == nil {
+		return fmt.Errorf("no post-mortem attached: %w", err)
+	}
+	rep := re.Report
+	if jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		rep.WriteText(os.Stdout)
+	}
+	writePostMortem(err, pmOut)
+	if err := writeMetrics(m, metricsOut); err != nil {
+		return err
+	}
+	if rep.Blocked != rep.P {
+		return fmt.Errorf("report shows %d/%d procs blocked, want all", rep.Blocked, rep.P)
+	}
+	return nil
+}
+
 // runProfile executes the experiment's representative workload with
 // the profiler on, prints the span tree (or profile JSON), and writes
 // the Chrome trace next to the working directory.
-func runProfile(id string, jsonOut bool, traceOut string) error {
+func runProfile(id string, jsonOut bool, traceOut, metricsOut string) error {
 	res, err := bench.ProfileRun(id, true)
 	if err != nil {
 		return err
@@ -118,6 +247,25 @@ func runProfile(id string, jsonOut bool, traceOut string) error {
 		}
 		fmt.Println()
 		pf.WriteTree(os.Stdout)
+	}
+	if metricsOut != "" && res.Metrics != nil {
+		f, err := os.Create(metricsOut)
+		if err != nil {
+			return err
+		}
+		werr := error(nil)
+		if strings.HasSuffix(metricsOut, ".prom") {
+			werr = res.Metrics.WritePrometheus(f)
+		} else {
+			werr = res.Metrics.WriteJSON(f)
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Fprintf(os.Stderr, "wrote metrics to %s\n", metricsOut)
 	}
 	if traceOut == "-" {
 		return nil

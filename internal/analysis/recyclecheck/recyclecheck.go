@@ -18,6 +18,8 @@
 // Discharging uses of a tracked buffer v:
 //
 //   - p.Recycle(v) — returned to the pool;
+//   - p.Capture(v) — handed to the flight recorder, which keeps it
+//     for the post-mortem report;
 //   - any appearance inside a return statement — ownership passes to
 //     the caller;
 //   - v (or a reslice v[i:j], which shares the backing array) assigned
@@ -272,11 +274,13 @@ func discharges(info *types.Info, id *ast.Ident, stack []ast.Node) bool {
 }
 
 // callDischarges decides whether passing the buffer as arg to call
-// transfers ownership: Recycle always does; append does for element
-// arguments (not for the slice being grown, and not for v... which
-// copies); every other call is a borrow.
+// transfers ownership: Recycle always does, and so does Capture (the
+// flight recorder takes the buffer for the post-mortem, so it must
+// not go back to the pool); append does for element arguments (not
+// for the slice being grown, and not for v... which copies); every
+// other call is a borrow.
 func callDischarges(info *types.Info, call *ast.CallExpr, arg ast.Node) bool {
-	if vmlib.IsProcMethod(info, call, "Recycle") {
+	if vmlib.IsProcMethod(info, call, "Recycle", "Capture") {
 		return true
 	}
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {

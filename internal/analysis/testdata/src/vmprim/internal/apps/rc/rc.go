@@ -83,6 +83,25 @@ func borrowOnly(p *hypercube.Proc, out []float64) int {
 	return len(buf)
 }
 
+// captured discharges by handing the buffer to the flight recorder:
+// Capture keeps it for the post-mortem, so it must not be recycled.
+func captured(p *hypercube.Proc) {
+	buf := p.GetBuf(8)
+	buf[0] = 1
+	p.Capture(buf)
+}
+
+// capturedRecv discharges a received message the same way, on the
+// tag-mismatch diagnostic path the simulator itself uses.
+func capturedRecv(p *hypercube.Proc, wantTag int) {
+	got := p.Recv(0, wantTag)
+	if len(got) > 0 && got[0] != float64(wantTag) {
+		p.Capture(got)
+		panic("unexpected payload")
+	}
+	p.Recycle(got)
+}
+
 // pinned documents a deliberate leak with a suppression directive.
 func pinned(p *hypercube.Proc) {
 	//lint:allow recyclecheck the scratch buffer is pinned for the lifetime of the run on purpose

@@ -20,6 +20,7 @@ func (p *Proc) ExchangeAll(dims []int, tag int, payloads [][]float64) [][]float6
 	return nil
 }
 func (p *Proc) Barrier(mask, tag int) {}
+func (p *Proc) Capture(buf []float64) {}
 func (p *Proc) BeginSpan(name string) {}
 func (p *Proc) EndSpan()              {}
 func (p *Proc) Compute(flops int)     {}

@@ -9,6 +9,7 @@ import (
 	"vmprim/internal/costmodel"
 	"vmprim/internal/embed"
 	"vmprim/internal/hypercube"
+	"vmprim/internal/metrics"
 	"vmprim/internal/obs"
 )
 
@@ -39,6 +40,10 @@ type ProfileResult struct {
 	// Profile is the profile of the last run, or nil when enable was
 	// false.
 	Profile *obs.Profile
+	// Metrics is the machine's metrics snapshot after the workload:
+	// cumulative counters over every run the workload executed, plus
+	// the last run's gauges. Always populated.
+	Metrics *metrics.Snapshot
 }
 
 // ProfileIDs lists the experiment ids ProfileRun accepts.
@@ -83,7 +88,7 @@ func newProfiledMachine(d int, enable bool) (*hypercube.Machine, error) {
 // finish assembles the result, pulling the machine's profile of the
 // most recent run when enabled.
 func finish(id, desc string, m *hypercube.Machine, enable bool, times ...costmodel.Time) *ProfileResult {
-	res := &ProfileResult{ID: id, Desc: desc, Times: times}
+	res := &ProfileResult{ID: id, Desc: desc, Times: times, Metrics: m.Metrics().Snapshot()}
 	if enable {
 		res.Profile = m.Profile()
 	}

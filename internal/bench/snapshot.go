@@ -1,0 +1,269 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Benchmark snapshot schema and regression comparison.
+//
+// BENCH_*.json files at the repository root record host-side
+// performance snapshots: a top-level description, a host block, and
+// one section per measured revision ("seed", "current", ...), each a
+// SnapshotRun with per-benchmark results. cmd/hostbench -json emits a
+// single-section file in the same schema, and cmd/benchdiff compares
+// two sections — from the same file, different files, or a fresh
+// hostbench run against the last committed snapshot.
+//
+// The comparison has two regimes, matching what the numbers mean.
+// sim_us_per_op is simulated machine time: deterministic by
+// construction, so any difference at all is a correctness regression
+// and gates. ns_per_op is host time: noisy across machines and CI
+// runs, so it is compared against a relative threshold and is
+// informational unless the caller opts into gating.
+
+// SimBuckets is the optional per-processor mean virtual-time split
+// recorded by hostbench -profile.
+type SimBuckets struct {
+	ComputeUs  float64 `json:"compute_us"`
+	StartupUs  float64 `json:"startup_us"`
+	TransferUs float64 `json:"transfer_us"`
+	IdleUs     float64 `json:"idle_us"`
+}
+
+// SnapshotResult is one benchmark's measurement in a snapshot.
+type SnapshotResult struct {
+	Name        string      `json:"name"`
+	NsPerOp     int64       `json:"ns_per_op"`
+	AllocsPerOp int64       `json:"allocs_per_op"`
+	BytesPerOp  int64       `json:"bytes_per_op"`
+	SimUsPerOp  float64     `json:"sim_us_per_op"`
+	Iterations  int         `json:"iterations"`
+	Sim         *SimBuckets `json:"sim_buckets,omitempty"`
+}
+
+// SnapshotRun is one measured revision: a labelled set of results.
+type SnapshotRun struct {
+	Label      string           `json:"label,omitempty"`
+	Dim        int              `json:"dim"`
+	N          int              `json:"n"`
+	Benchtime  string           `json:"benchtime"`
+	GoVersion  string           `json:"go_version,omitempty"`
+	GOMAXPROCS int              `json:"gomaxprocs,omitempty"`
+	Timestamp  string           `json:"timestamp"`
+	Results    []SnapshotResult `json:"results"`
+}
+
+// HostInfo describes the measuring host.
+type HostInfo struct {
+	CPU        string `json:"cpu,omitempty"`
+	GOOS       string `json:"goos,omitempty"`
+	GOARCH     string `json:"goarch,omitempty"`
+	GoVersion  string `json:"go_version,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+}
+
+// SnapshotFile is one BENCH_*.json document: fixed header fields plus
+// named sections.
+type SnapshotFile struct {
+	Description string
+	Host        *HostInfo
+	Sections    map[string]*SnapshotRun
+}
+
+// UnmarshalJSON treats every top-level key except description and
+// host as a section.
+func (f *SnapshotFile) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	f.Sections = make(map[string]*SnapshotRun)
+	for key, msg := range raw {
+		switch key {
+		case "description":
+			if err := json.Unmarshal(msg, &f.Description); err != nil {
+				return err
+			}
+		case "host":
+			if err := json.Unmarshal(msg, &f.Host); err != nil {
+				return err
+			}
+		default:
+			run := &SnapshotRun{}
+			if err := json.Unmarshal(msg, run); err != nil {
+				return fmt.Errorf("section %q: %w", key, err)
+			}
+			f.Sections[key] = run
+		}
+	}
+	return nil
+}
+
+// MarshalJSON renders the file with description and host first and
+// the sections in sorted order ("current" always last, matching the
+// committed files' seed-then-current convention).
+func (f *SnapshotFile) MarshalJSON() ([]byte, error) {
+	buf := []byte("{")
+	comma := false
+	add := func(key string, v any) error {
+		kb, _ := json.Marshal(key)
+		vb, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		if comma {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, kb...)
+		buf = append(buf, ':')
+		buf = append(buf, vb...)
+		comma = true
+		return nil
+	}
+	if f.Description != "" {
+		if err := add("description", f.Description); err != nil {
+			return nil, err
+		}
+	}
+	if f.Host != nil {
+		if err := add("host", f.Host); err != nil {
+			return nil, err
+		}
+	}
+	for _, name := range f.SectionNames() {
+		if err := add(name, f.Sections[name]); err != nil {
+			return nil, err
+		}
+	}
+	return append(buf, '}'), nil
+}
+
+// SectionNames lists the file's sections, sorted, with "current" moved
+// to the end.
+func (f *SnapshotFile) SectionNames() []string {
+	names := make([]string, 0, len(f.Sections))
+	for name := range f.Sections {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if (names[i] == "current") != (names[j] == "current") {
+			return names[j] == "current"
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// Section resolves a section by name; the empty name picks "current"
+// if present, otherwise the file's only section.
+func (f *SnapshotFile) Section(name string) (*SnapshotRun, error) {
+	if name == "" {
+		if run, ok := f.Sections["current"]; ok {
+			return run, nil
+		}
+		if len(f.Sections) == 1 {
+			for _, run := range f.Sections {
+				return run, nil
+			}
+		}
+		return nil, fmt.Errorf("bench: no \"current\" section; pick one of %v", f.SectionNames())
+	}
+	run, ok := f.Sections[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: no section %q; have %v", name, f.SectionNames())
+	}
+	return run, nil
+}
+
+// LoadSnapshotFile reads and parses one BENCH_*.json document.
+func LoadSnapshotFile(path string) (*SnapshotFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &SnapshotFile{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name string
+	// Old and New are nil when the benchmark exists on one side only.
+	Old, New *SnapshotResult
+	// HostRatio is new/old ns_per_op (1.0 = unchanged); NaN when not
+	// comparable.
+	HostRatio float64
+	// SimChanged reports a sim_us_per_op difference — any difference,
+	// since simulated time is deterministic.
+	SimChanged bool
+	// HostRegressed reports that HostRatio exceeds 1+threshold.
+	HostRegressed bool
+}
+
+// CompareRuns matches benchmarks by name (in old's order, with
+// new-only entries appended) and flags sim changes and host
+// regressions beyond hostThreshold (e.g. 0.20 = +20% ns/op).
+func CompareRuns(oldRun, newRun *SnapshotRun, hostThreshold float64) []Delta {
+	newByName := make(map[string]*SnapshotResult, len(newRun.Results))
+	for i := range newRun.Results {
+		newByName[newRun.Results[i].Name] = &newRun.Results[i]
+	}
+	var deltas []Delta
+	seen := make(map[string]bool, len(oldRun.Results))
+	for i := range oldRun.Results {
+		o := &oldRun.Results[i]
+		seen[o.Name] = true
+		d := Delta{Name: o.Name, Old: o, New: newByName[o.Name], HostRatio: math.NaN()}
+		if d.New != nil {
+			if o.NsPerOp > 0 {
+				d.HostRatio = float64(d.New.NsPerOp) / float64(o.NsPerOp)
+				d.HostRegressed = d.HostRatio > 1+hostThreshold
+			}
+			d.SimChanged = d.New.SimUsPerOp != o.SimUsPerOp
+		}
+		deltas = append(deltas, d)
+	}
+	for i := range newRun.Results {
+		if n := &newRun.Results[i]; !seen[n.Name] {
+			deltas = append(deltas, Delta{Name: n.Name, New: n, HostRatio: math.NaN()})
+		}
+	}
+	return deltas
+}
+
+// Verdict summarizes a comparison for gating.
+type Verdict struct {
+	// SimMismatches names benchmarks whose simulated time changed.
+	SimMismatches []string
+	// HostRegressions names benchmarks whose ns/op regressed beyond
+	// the threshold.
+	HostRegressions []string
+	// Missing names benchmarks present on only one side.
+	Missing []string
+}
+
+// Summarize folds deltas into a Verdict.
+func Summarize(deltas []Delta) Verdict {
+	var v Verdict
+	for _, d := range deltas {
+		switch {
+		case d.Old == nil || d.New == nil:
+			v.Missing = append(v.Missing, d.Name)
+		default:
+			if d.SimChanged {
+				v.SimMismatches = append(v.SimMismatches, d.Name)
+			}
+			if d.HostRegressed {
+				v.HostRegressions = append(v.HostRegressions, d.Name)
+			}
+		}
+	}
+	return v
+}

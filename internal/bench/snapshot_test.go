@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func snapRun(ns []int64, sim []float64) *SnapshotRun {
+	run := &SnapshotRun{Dim: 3, N: 64, Benchtime: "1x", Timestamp: "2026-08-05T00:00:00Z"}
+	names := []string{"ExtractRow", "ReduceRows", "Transpose"}
+	for i := range ns {
+		run.Results = append(run.Results, SnapshotResult{
+			Name: names[i], NsPerOp: ns[i], SimUsPerOp: sim[i], Iterations: 1,
+		})
+	}
+	return run
+}
+
+func TestCompareRunsFlagsSyntheticHostRegression(t *testing.T) {
+	oldRun := snapRun([]int64{1000, 2000, 3000}, []float64{10, 20, 30})
+	// ExtractRow +25% (beyond the 20% threshold), ReduceRows +15%
+	// (within it), Transpose unchanged.
+	newRun := snapRun([]int64{1250, 2300, 3000}, []float64{10, 20, 30})
+	v := Summarize(CompareRuns(oldRun, newRun, 0.20))
+	if len(v.HostRegressions) != 1 || v.HostRegressions[0] != "ExtractRow" {
+		t.Fatalf("host regressions = %v, want exactly ExtractRow (+25%% > 20%%)", v.HostRegressions)
+	}
+	if len(v.SimMismatches) != 0 || len(v.Missing) != 0 {
+		t.Fatalf("unexpected sim/missing findings: %+v", v)
+	}
+}
+
+func TestCompareRunsGatesAnySimDifference(t *testing.T) {
+	oldRun := snapRun([]int64{1000, 2000, 3000}, []float64{10, 20, 30})
+	// Host time identical; one sim value off by a hair — deterministic
+	// simulated time means even that gates.
+	newRun := snapRun([]int64{1000, 2000, 3000}, []float64{10, 20.000001, 30})
+	v := Summarize(CompareRuns(oldRun, newRun, 0.20))
+	if len(v.SimMismatches) != 1 || v.SimMismatches[0] != "ReduceRows" {
+		t.Fatalf("sim mismatches = %v, want exactly ReduceRows", v.SimMismatches)
+	}
+	if len(v.HostRegressions) != 0 {
+		t.Fatalf("no host regression expected, got %v", v.HostRegressions)
+	}
+}
+
+func TestCompareRunsReportsMissingBenchmarks(t *testing.T) {
+	oldRun := snapRun([]int64{1000, 2000, 3000}, []float64{10, 20, 30})
+	newRun := snapRun([]int64{1000, 2000}, []float64{10, 20})
+	newRun.Results = append(newRun.Results, SnapshotResult{Name: "Shiny", NsPerOp: 5, Iterations: 1})
+	v := Summarize(CompareRuns(oldRun, newRun, 0.20))
+	if len(v.Missing) != 2 || v.Missing[0] != "Transpose" || v.Missing[1] != "Shiny" {
+		t.Fatalf("missing = %v, want [Transpose Shiny]", v.Missing)
+	}
+}
+
+func TestSnapshotFileRoundTripAndSections(t *testing.T) {
+	f := &SnapshotFile{
+		Description: "test snapshot",
+		Host:        &HostInfo{GOOS: "linux", GoVersion: "go1.24.0"},
+		Sections: map[string]*SnapshotRun{
+			"current": snapRun([]int64{1}, []float64{2}),
+			"seed":    snapRun([]int64{3}, []float64{4}),
+		},
+	}
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sections order: seed before current (current always renders last).
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if tok, _ := dec.Token(); tok != json.Delim('{') {
+		t.Fatalf("not an object: %s", data)
+	}
+	for dec.More() {
+		key, _ := dec.Token()
+		order = append(order, key.(string))
+		var skip json.RawMessage
+		if err := dec.Decode(&skip); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"description", "host", "seed", "current"}
+	if len(order) != len(want) {
+		t.Fatalf("keys = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", order, want)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Description != f.Description || len(got.Sections) != 2 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	cur, err := got.Section("")
+	if err != nil || cur.Results[0].NsPerOp != 1 {
+		t.Fatalf("default section = %+v, %v; want current", cur, err)
+	}
+	seed, err := got.Section("seed")
+	if err != nil || seed.Results[0].NsPerOp != 3 {
+		t.Fatalf("seed section = %+v, %v", seed, err)
+	}
+	if _, err := got.Section("nope"); err == nil {
+		t.Fatal("unknown section did not error")
+	}
+}

@@ -25,6 +25,7 @@ import (
 func BcastAllPort(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
 	p.BeginSpan("bcast-allport")
 	defer p.EndSpan()
+	p.NoteCollective("bcast-allport", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
@@ -133,6 +134,7 @@ func lenPieceZero(pieces [][]float64, r int) bool {
 func ReduceAllPort(p *hypercube.Proc, mask, tag, rootRel int, data []float64, comb Combiner) []float64 {
 	p.BeginSpan("reduce-allport")
 	defer p.EndSpan()
+	p.NoteCollective("reduce-allport", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {

@@ -111,6 +111,7 @@ func subTag(tag, s int) int { return tag<<6 | s }
 func Bcast(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
 	p.BeginSpan("bcast")
 	defer p.EndSpan()
+	p.NoteCollective("bcast", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
 	r := rel(p, mask) ^ rootRel // address relative to the root
@@ -154,6 +155,7 @@ func Bcast(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 
 func BcastLarge(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
 	p.BeginSpan("bcast-large")
 	defer p.EndSpan()
+	p.NoteCollective("bcast-large", mask, tag)
 	k := gray.OnesCount(mask)
 	if k == 0 {
 		cp := make([]float64, len(data))
@@ -177,6 +179,7 @@ func BcastLarge(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []flo
 func Reduce(p *hypercube.Proc, mask, tag, rootRel int, data []float64, comb Combiner) []float64 {
 	p.BeginSpan("reduce")
 	defer p.EndSpan()
+	p.NoteCollective("reduce", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
 	r := rel(p, mask) ^ rootRel
@@ -213,6 +216,7 @@ func Reduce(p *hypercube.Proc, mask, tag, rootRel int, data []float64, comb Comb
 func ReduceScatter(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) (piece []float64, offset int) {
 	p.BeginSpan("reduce-scatter")
 	defer p.EndSpan()
+	p.NoteCollective("reduce-scatter", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
@@ -252,6 +256,7 @@ func ReduceScatter(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 func AllGather(p *hypercube.Proc, mask, tag int, piece []float64) []float64 {
 	p.BeginSpan("all-gather")
 	defer p.EndSpan()
+	p.NoteCollective("all-gather", mask, tag)
 	ds := gray.Dims(mask)
 	r := rel(p, mask)
 	buf := p.GetBuf(len(piece))
@@ -285,6 +290,7 @@ func AllGather(p *hypercube.Proc, mask, tag int, piece []float64) []float64 {
 func AllReduce(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) []float64 {
 	p.BeginSpan("all-reduce")
 	defer p.EndSpan()
+	p.NoteCollective("all-reduce", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
@@ -322,6 +328,7 @@ func AllReduce(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) 
 func Gather(p *hypercube.Proc, mask, tag, rootRel int, piece []float64) []float64 {
 	p.BeginSpan("gather")
 	defer p.EndSpan()
+	p.NoteCollective("gather", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
 	r := rel(p, mask) ^ rootRel
@@ -379,6 +386,7 @@ func Gather(p *hypercube.Proc, mask, tag, rootRel int, piece []float64) []float6
 func Scatter(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 {
 	p.BeginSpan("scatter")
 	defer p.EndSpan()
+	p.NoteCollective("scatter", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if k == 0 {
@@ -462,6 +470,7 @@ func Scatter(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float6
 func AllToAll(p *hypercube.Proc, mask, tag int, out [][]float64) [][]float64 {
 	p.BeginSpan("all-to-all")
 	defer p.EndSpan()
+	p.NoteCollective("all-to-all", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
 	if len(out) != 1<<k {
@@ -509,6 +518,7 @@ func AllToAll(p *hypercube.Proc, mask, tag int, out [][]float64) [][]float64 {
 func ScanInclusive(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) []float64 {
 	p.BeginSpan("scan")
 	defer p.EndSpan()
+	p.NoteCollective("scan", mask, tag)
 	ds := gray.Dims(mask)
 	r := rel(p, mask)
 	prefix := p.GetBuf(len(data))
@@ -536,6 +546,7 @@ func ScanInclusive(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 func ScanExclusive(p *hypercube.Proc, mask, tag int, data, identity []float64, comb Combiner) []float64 {
 	p.BeginSpan("scan-exclusive")
 	defer p.EndSpan()
+	p.NoteCollective("scan-exclusive", mask, tag)
 	ds := gray.Dims(mask)
 	r := rel(p, mask)
 	prefix := p.GetBuf(len(identity))

@@ -27,9 +27,11 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vmprim/internal/costmodel"
+	"vmprim/internal/flightrec"
 	"vmprim/internal/gray"
 	"vmprim/internal/obs"
 )
@@ -40,6 +42,35 @@ import (
 // Recv means a protocol bug, and failing fast beats hanging a test
 // run.
 const DefaultRecvTimeout = 30 * time.Second
+
+// defaultRecvTimeoutNs, when nonzero, overrides DefaultRecvTimeout for
+// machines constructed afterwards (set from cmd/vmprim's -recv-timeout
+// flag before any machine exists; atomic so tests may race it safely).
+var defaultRecvTimeoutNs atomic.Int64
+
+// SetDefaultRecvTimeout changes the deadlock-watchdog timeout applied
+// to machines constructed from now on; existing machines keep theirs
+// (use SetRecvTimeout for a per-machine override). d <= 0 restores
+// DefaultRecvTimeout.
+func SetDefaultRecvTimeout(d time.Duration) {
+	if d <= 0 {
+		defaultRecvTimeoutNs.Store(0)
+		return
+	}
+	defaultRecvTimeoutNs.Store(int64(d))
+}
+
+// currentDefaultRecvTimeout resolves the timeout New applies.
+func currentDefaultRecvTimeout() time.Duration {
+	if ns := defaultRecvTimeoutNs.Load(); ns > 0 {
+		return time.Duration(ns)
+	}
+	return DefaultRecvTimeout
+}
+
+// defaultFlightDepth is the per-processor flight-recorder capacity
+// (events retained) unless overridden with SetFlightRecorderDepth.
+const defaultFlightDepth = 32
 
 // message is one inter-processor transfer: a payload of words, a
 // protocol tag for error detection, and the virtual arrival time.
@@ -87,6 +118,13 @@ type Machine struct {
 	profEnabled bool
 	profile     *obs.Profile
 	vols        map[int]map[int]int
+
+	// postmortem is the report of the most recent failed Run (see
+	// postmortem.go); nil after a successful one. met is the machine's
+	// metrics registry, folded from the per-processor counters once per
+	// Run.
+	postmortem *flightrec.Report
+	met        machMetrics
 }
 
 // engine is the persistent worker pool. It is a separate object so the
@@ -155,9 +193,10 @@ func New(dim int, params costmodel.Params) (*Machine, error) {
 		p:           p,
 		params:      params,
 		in:          make([][]chan message, p),
-		recvTimeout: DefaultRecvTimeout,
+		recvTimeout: currentDefaultRecvTimeout(),
 		procs:       make([]*Proc, p),
 		clocks:      make([]costmodel.Time, p),
+		met:         newMachMetrics(),
 	}
 	for pid := 0; pid < p; pid++ {
 		chans := make([]chan message, dim)
@@ -169,8 +208,18 @@ func New(dim int, params costmodel.Params) (*Machine, error) {
 		}
 		m.in[pid] = chans
 		m.procs[pid] = &Proc{m: m, id: pid, linkWords: make([]int64, dim)}
+		m.procs[pid].rec.Init(defaultFlightDepth)
 	}
 	return m, nil
+}
+
+// SetFlightRecorderDepth resizes every processor's flight-recorder
+// ring to hold k events (rounded up to a power of two; k <= 0 disables
+// recording). It must be called between runs, not during one.
+func (m *Machine) SetFlightRecorderDepth(k int) {
+	for _, pr := range m.procs {
+		pr.rec.Init(k)
+	}
 }
 
 // MustNew is New for callers with static arguments; it panics on error.
@@ -194,6 +243,10 @@ func (m *Machine) Params() costmodel.Params { return m.params }
 // SetRecvTimeout overrides the deadlock-detection timeout. It must be
 // called between runs, not during one.
 func (m *Machine) SetRecvTimeout(d time.Duration) { m.recvTimeout = d }
+
+// RecvTimeout reports the machine's current deadlock-detection
+// timeout.
+func (m *Machine) RecvTimeout() time.Duration { return m.recvTimeout }
 
 // Elapsed returns the simulated time of the most recent Run: the
 // maximum virtual clock over all processors.
@@ -255,6 +308,15 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 		if pr.prof || len(pr.ps.nodes) > 0 {
 			pr.ps.reset()
 		}
+		pr.nColl, pr.nArms, pr.nRearms = 0, 0, 0
+		pr.pool.gets, pr.pool.hits = 0, 0
+		pr.msgHist = [msgHistBins]int64{}
+		pr.rec.Reset()
+		pr.waitKind = flightrec.WaitNone
+		for i := range pr.captured {
+			pr.captured[i] = nil
+		}
+		pr.captured = pr.captured[:0]
 		pr.abort = rc.abort
 		pr.trace = pr.trace[:0]
 		if pr.timerArmed {
@@ -269,6 +331,7 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 	close(rc.errs)
 
 	var firstErr error
+	failedPid := -1
 	perrs := make([]procError, 0)
 	for pe := range rc.errs {
 		perrs = append(perrs, pe)
@@ -279,10 +342,12 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 			continue // secondary casualty of the first panic
 		}
 		firstErr = fmt.Errorf("hypercube: processor %d: %v", pe.pid, pe.val)
+		failedPid = pe.pid
 		break
 	}
 	if firstErr == nil && len(perrs) > 0 {
 		firstErr = fmt.Errorf("hypercube: processor %d aborted", perrs[0].pid)
+		failedPid = perrs[0].pid
 	}
 
 	var elapsed costmodel.Time
@@ -307,10 +372,21 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 	if m.profEnabled && firstErr == nil {
 		prof = m.buildProfile()
 	}
+
+	// On failure, assemble the post-mortem while the links still hold
+	// their undelivered messages (buildPostMortem census-drains them);
+	// the report rides along on the returned error.
+	var pm *flightrec.Report
+	if firstErr != nil {
+		pm = m.buildPostMortem(firstErr.Error(), failedPid)
+		firstErr = &RunError{Err: firstErr, Report: pm}
+	}
 	m.mu.Lock()
 	m.profile = prof
+	m.postmortem = pm
 	m.mu.Unlock()
 
+	m.updateMetrics(elapsed, firstErr != nil)
 	m.drain()
 	return elapsed, firstErr
 }
@@ -438,6 +514,27 @@ type Proc struct {
 
 	pool bufPool
 
+	// Flight recorder and post-mortem state (see postmortem.go). rec is
+	// the bounded event ring; the wait registers say what the processor
+	// is blocked on right now (written by this goroutine on the slow
+	// paths, read by the machine only after the run has ended); captured
+	// holds payloads handed over with Capture. All feed the post-mortem
+	// report of a failed run.
+	rec       flightrec.Ring
+	waitKind  flightrec.WaitKind
+	waitDim   int
+	waitTag   int
+	waitSince costmodel.Time
+	captured  [][]float64
+
+	// Per-run metric counters, folded into the machine's registry once
+	// per Run: collective entries, watchdog arms/re-arms, and the
+	// message-size histogram bins (bounds in msgWordBounds).
+	nColl   int64
+	nArms   int64
+	nRearms int64
+	msgHist [msgHistBins]int64
+
 	// Deadlock watchdog state. The timer is armed at most once per
 	// timeout window (not per blocking Recv): recvSeq counts delivered
 	// messages and timerSeq records its value at arming, so a fire with
@@ -530,11 +627,72 @@ func (p *Proc) post(d, tag int, words []float64, arrive costmodel.Time) {
 			Time: arrive, Src: p.id, Dst: dst, Dim: d, Words: len(words), Tag: tag,
 		})
 	}
+	p.msgHist[msgBin(len(words))]++
+	p.record(flightrec.KindSend, "", d, tag, len(words), arrive)
+	msg := message{words: cp, tag: tag, arrive: arrive}
+	ch := p.m.in[dst][d]
 	select {
-	case p.m.in[dst][d] <- message{words: cp, tag: tag, arrive: arrive}:
-	case <-p.abort:
-		panic(abortedError{})
+	case ch <- msg:
+	default:
+		// Link buffer full: note the blocked send in the wait registers
+		// so a post-mortem can name it, then park.
+		p.waitKind = flightrec.WaitSend
+		p.waitDim, p.waitTag = d, tag
+		p.waitSince = arrive
+		select {
+		case ch <- msg:
+			p.waitKind = flightrec.WaitNone
+		case <-p.abort:
+			panic(abortedError{})
+		}
 	}
+}
+
+// record appends one event to this processor's flight recorder,
+// stamping the current open profiler span (if any). One struct store
+// per call; labels must be static strings so recording never
+// allocates.
+func (p *Proc) record(kind flightrec.Kind, label string, dim, tag, words int, vt costmodel.Time) {
+	span := -1
+	depth := len(p.ps.stack)
+	if depth > 0 {
+		span = p.ps.stack[depth-1].node
+	}
+	p.rec.Record(flightrec.Event{
+		VT: vt, Kind: kind, Label: label,
+		Dim: dim, Tag: tag, Words: words,
+		Span: span, Depth: depth,
+	})
+}
+
+// NoteCollective records the entry into a named collective protocol
+// (or router phase) on this processor's flight recorder and counts it
+// toward the machine's collective-invocation metric. mask is the
+// subcube dimension mask and tag the protocol tag; name must be a
+// static string so recording never allocates.
+func (p *Proc) NoteCollective(name string, mask, tag int) {
+	p.nColl++
+	p.record(flightrec.KindCollective, name, mask, tag, 0, p.clock)
+}
+
+// maxCaptured bounds the payloads the recorder retains per processor.
+const maxCaptured = 4
+
+// Capture hands buf to the flight recorder for post-mortem inspection:
+// ownership transfers to the recorder, so the caller must not use or
+// Recycle buf afterwards. The recorder keeps the newest maxCaptured
+// payloads; they appear in the post-mortem report of a failed run and
+// are dropped at the next Run. Recv uses it to preserve the offending
+// payload of a tag mismatch; application code may capture its own
+// evidence before panicking.
+func (p *Proc) Capture(buf []float64) {
+	if len(p.captured) < maxCaptured {
+		p.captured = append(p.captured, buf)
+	} else {
+		copy(p.captured, p.captured[1:])
+		p.captured[maxCaptured-1] = buf
+	}
+	p.record(flightrec.KindCapture, "", -1, 0, len(buf), p.clock)
 }
 
 // Recv receives the next message on dimension d, checks that its tag
@@ -556,7 +714,11 @@ func (p *Proc) Recv(d, wantTag int) []float64 {
 		// later fire that finds progress (recvSeq advanced past
 		// timerSeq) re-arms and keeps waiting, so a genuine deadlock is
 		// reported within two timeout windows while the steady state
-		// pays no per-Recv timer traffic.
+		// pays no per-Recv timer traffic. The wait registers make the
+		// blocked state visible to the post-mortem assembler.
+		p.waitKind = flightrec.WaitRecv
+		p.waitDim, p.waitTag = d, wantTag
+		p.waitSince = p.clock
 		for {
 			if !p.timerArmed {
 				if p.timer == nil {
@@ -566,6 +728,7 @@ func (p *Proc) Recv(d, wantTag int) []float64 {
 				}
 				p.timerArmed = true
 				p.timerSeq = p.recvSeq
+				p.nArms++
 			}
 			fired := false
 			select {
@@ -577,18 +740,24 @@ func (p *Proc) Recv(d, wantTag int) []float64 {
 				if p.recvSeq == p.timerSeq {
 					panic(fmt.Sprintf("recv timeout on dim %d (tag %d): deadlock", d, wantTag))
 				}
+				p.nRearms++
 				fired = true
 			}
 			if !fired {
 				break
 			}
 		}
+		p.waitKind = flightrec.WaitNone
 	}
 	p.recvSeq++
 	if msg.tag != wantTag {
+		// Preserve the offending payload for the post-mortem before
+		// dying: the report shows its length and leading words.
+		p.Capture(msg.words)
 		panic(fmt.Sprintf("tag mismatch on dim %d: got %d, want %d", d, msg.tag, wantTag))
 	}
 	p.AdvanceTo(msg.arrive)
+	p.record(flightrec.KindRecv, "", d, wantTag, len(msg.words), p.clock)
 	return msg.words
 }
 

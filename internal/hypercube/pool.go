@@ -23,9 +23,15 @@ import "math/bits"
 // payload per buffer is far beyond any simulated message).
 const poolClasses = 28
 
-// bufPool is a segregated free list of []float64 scratch buffers.
+// bufPool is a segregated free list of []float64 scratch buffers. The
+// gets/hits counters feed the machine's metrics registry (pool hit
+// rate); they are reset by every Run and, like the free lists, are
+// touched only by the owning processor's goroutine.
 type bufPool struct {
 	free [poolClasses][][]float64
+
+	gets int64 // pooled-size get requests this run
+	hits int64 // gets served from a free list this run
 }
 
 // get returns a buffer of length n with arbitrary contents (callers
@@ -35,6 +41,7 @@ func (bp *bufPool) get(n int) []float64 {
 	if n == 0 {
 		return make([]float64, 0)
 	}
+	bp.gets++
 	c := bits.Len(uint(n - 1))
 	if c >= poolClasses {
 		return make([]float64, n)
@@ -43,6 +50,7 @@ func (bp *bufPool) get(n int) []float64 {
 		b := s[len(s)-1]
 		s[len(s)-1] = nil
 		bp.free[c] = s[:len(s)-1]
+		bp.hits++
 		return b[:n]
 	}
 	return make([]float64, n, 1<<c)

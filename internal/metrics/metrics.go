@@ -1,0 +1,310 @@
+// Package metrics is a small, dependency-free metrics registry for the
+// simulator: named counters, gauges and fixed-bucket histograms with a
+// per-run snapshot exported as JSON or Prometheus text exposition
+// format.
+//
+// The registry is deliberately not a hot-path structure. The machine
+// keeps raw per-processor counters (plain int64 fields, one goroutine
+// each) during a run and folds them into the registry once per Run;
+// the registry's own synchronization (atomics plus one mutex per
+// histogram) therefore costs a handful of operations per run, not per
+// message. Counters are cumulative over the life of the registry —
+// Prometheus semantics — while gauges describe the most recent run.
+//
+// Snapshots are deterministic: metrics appear in registration order,
+// so two snapshots of identical state render byte-identically.
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n < 0 panics: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("metrics: negative Counter.Add")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down; it holds the most recent
+// value set.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the last value set (zero before any Set).
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed cumulative buckets, in the
+// Prometheus style: bucket i counts observations <= Bounds[i], with a
+// final implicit +Inf bucket.
+type Histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []int64 // len(bounds)+1; last is +Inf
+	sum    float64
+	n      int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// AddBuckets folds pre-binned counts into the histogram: counts[i] is
+// the number of observations in non-cumulative bucket i (the machine
+// bins per processor during a run and merges here once per run). The
+// slice must have len(Bounds())+1 entries; sum is the total of the
+// underlying observed values.
+func (h *Histogram) AddBuckets(counts []int64, sum float64) {
+	if len(counts) != len(h.counts) {
+		panic(fmt.Sprintf("metrics: AddBuckets got %d buckets, histogram has %d", len(counts), len(h.counts)))
+	}
+	h.mu.Lock()
+	for i, c := range counts {
+		h.counts[i] += c
+		h.n += c
+	}
+	h.sum += sum
+	h.mu.Unlock()
+}
+
+// Bounds returns the upper bounds of the finite buckets.
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// metricKind tags a registered metric.
+type metricKind uint8
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered metric of any kind.
+type metric struct {
+	name, help string
+	kind       metricKind
+	counter    *Counter
+	gauge      *Gauge
+	hist       *Histogram
+}
+
+// Registry holds named metrics and produces snapshots. Registration is
+// expected at setup time; double registration of a name panics.
+type Registry struct {
+	mu     sync.Mutex
+	order  []*metric
+	byName map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[m.name]; dup {
+		panic("metrics: duplicate metric " + m.name)
+	}
+	r.byName[m.name] = m
+	r.order = append(r.order, m)
+}
+
+// Counter registers and returns a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{}
+	r.register(&metric{name: name, help: help, kind: kindCounter, counter: c})
+	return c
+}
+
+// Gauge registers and returns a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{}
+	r.register(&metric{name: name, help: help, kind: kindGauge, gauge: g})
+	return g
+}
+
+// Histogram registers and returns a histogram with the given finite
+// bucket upper bounds (ascending); a +Inf bucket is implicit.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds not ascending: " + name)
+		}
+	}
+	h := &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]int64, len(bounds)+1),
+	}
+	r.register(&metric{name: name, help: help, kind: kindHistogram, hist: h})
+	return h
+}
+
+// BucketCount is one cumulative histogram bucket in a snapshot.
+type BucketCount struct {
+	// Le is the bucket's inclusive upper bound; +Inf on the last.
+	Le float64 `json:"-"`
+	// Count is the cumulative count of observations <= Le.
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON renders the bound the way Prometheus labels it ("+Inf"
+// for the last bucket), since JSON numbers cannot carry infinities.
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Le    string `json:"le"`
+		Count int64  `json:"count"`
+	}{promFloat(b.Le), b.Count})
+}
+
+// MetricValue is one metric in a snapshot.
+type MetricValue struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Help string `json:"help,omitempty"`
+	// Value carries counter and gauge values (counters as exact
+	// integers rendered in float64, which is lossless below 2^53).
+	Value float64 `json:"value,omitempty"`
+	// Buckets, Sum and Count carry histogram state.
+	Buckets []BucketCount `json:"buckets,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Count   int64         `json:"count,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, in
+// registration order.
+type Snapshot struct {
+	Metrics []MetricValue `json:"metrics"`
+}
+
+// Snapshot captures the current value of every metric.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	order := append([]*metric(nil), r.order...)
+	r.mu.Unlock()
+	s := &Snapshot{Metrics: make([]MetricValue, 0, len(order))}
+	for _, m := range order {
+		mv := MetricValue{Name: m.name, Type: m.kind.String(), Help: m.help}
+		switch m.kind {
+		case kindCounter:
+			mv.Value = float64(m.counter.Value())
+		case kindGauge:
+			mv.Value = m.gauge.Value()
+		case kindHistogram:
+			h := m.hist
+			h.mu.Lock()
+			cum := int64(0)
+			mv.Buckets = make([]BucketCount, len(h.counts))
+			for i, c := range h.counts {
+				cum += c
+				le := math.Inf(1)
+				if i < len(h.bounds) {
+					le = h.bounds[i]
+				}
+				mv.Buckets[i] = BucketCount{Le: le, Count: cum}
+			}
+			mv.Sum = h.sum
+			mv.Count = h.n
+			h.mu.Unlock()
+		}
+		s.Metrics = append(s.Metrics, mv)
+	}
+	return s
+}
+
+// Value returns the snapshot value of the named counter or gauge (for
+// histograms, the observation count) and whether the name exists.
+func (s *Snapshot) Value(name string) (float64, bool) {
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			if s.Metrics[i].Type == "histogram" {
+				return float64(s.Metrics[i].Count), true
+			}
+			return s.Metrics[i].Value, true
+		}
+	}
+	return 0, false
+}
+
+// WriteJSON writes the snapshot as an indented JSON document.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes the snapshot in the Prometheus text
+// exposition format (version 0.0.4).
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for i := range s.Metrics {
+		m := &s.Metrics[i]
+		if m.Help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, m.Help)
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
+		switch m.Type {
+		case "histogram":
+			for _, b := range m.Buckets {
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.Name, promFloat(b.Le), b.Count)
+			}
+			fmt.Fprintf(bw, "%s_sum %s\n", m.Name, promFloat(m.Sum))
+			fmt.Fprintf(bw, "%s_count %d\n", m.Name, m.Count)
+		default:
+			fmt.Fprintf(bw, "%s %s\n", m.Name, promFloat(m.Value))
+		}
+	}
+	return bw.Flush()
+}
+
+// promFloat renders a float the way Prometheus expects: integral
+// values without an exponent, +Inf spelled literally.
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}

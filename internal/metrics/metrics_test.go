@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("msgs_total", "messages")
+	g := r.Gauge("elapsed_us", "last run")
+	h := r.Histogram("words", "payload sizes", []float64{1, 4, 16})
+
+	c.Add(3)
+	c.Add(2)
+	g.Set(12.5)
+	g.Set(7.25)
+	for _, v := range []float64{0, 1, 2, 5, 100} {
+		h.Observe(v)
+	}
+	h.AddBuckets([]int64{1, 0, 2, 1}, 50)
+
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if g.Value() != 7.25 {
+		t.Fatalf("gauge = %v, want 7.25", g.Value())
+	}
+
+	s := r.Snapshot()
+	if len(s.Metrics) != 3 {
+		t.Fatalf("snapshot has %d metrics, want 3", len(s.Metrics))
+	}
+	// Registration order is preserved.
+	if s.Metrics[0].Name != "msgs_total" || s.Metrics[1].Name != "elapsed_us" || s.Metrics[2].Name != "words" {
+		t.Fatalf("order wrong: %+v", s.Metrics)
+	}
+	if v, ok := s.Value("msgs_total"); !ok || v != 5 {
+		t.Fatalf("Value(msgs_total) = %v,%v", v, ok)
+	}
+	if v, ok := s.Value("words"); !ok || v != 9 {
+		t.Fatalf("Value(words) = %v,%v, want 9 observations", v, ok)
+	}
+	if _, ok := s.Value("missing"); ok {
+		t.Fatal("Value(missing) found")
+	}
+
+	hist := s.Metrics[2]
+	// Observed non-cumulative bins: [2,1,1,1]; AddBuckets adds
+	// [1,0,2,1] for [3,1,3,2]; cumulative: 3, 4, 7, 9.
+	wantCum := []int64{3, 4, 7, 9}
+	if len(hist.Buckets) != 4 {
+		t.Fatalf("buckets = %+v", hist.Buckets)
+	}
+	for i, b := range hist.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(hist.Buckets[3].Le, 1) {
+		t.Fatalf("last bucket le = %v, want +Inf", hist.Buckets[3].Le)
+	}
+	if hist.Sum != 158 || hist.Count != 9 {
+		t.Fatalf("sum/count = %v/%d, want 158/9", hist.Sum, hist.Count)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "help a").Add(7)
+	r.Histogram("h", "", []float64{2}).Observe(1)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Type  string  `json:"type"`
+			Value float64 `json:"value"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if len(doc.Metrics) != 2 || doc.Metrics[0].Name != "a_total" || doc.Metrics[0].Value != 7 {
+		t.Fatalf("unexpected doc: %+v", doc)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("vm_msgs_total", "total messages").Add(42)
+	r.Gauge("vm_rate", "hit rate").Set(0.75)
+	h := r.Histogram("vm_words", "payload words", []float64{1, 8})
+	h.Observe(1)
+	h.Observe(9)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP vm_msgs_total total messages",
+		"# TYPE vm_msgs_total counter",
+		"vm_msgs_total 42",
+		"# TYPE vm_rate gauge",
+		"vm_rate 0.75",
+		"# TYPE vm_words histogram",
+		`vm_words_bucket{le="1"} 1`,
+		`vm_words_bucket{le="8"} 1`,
+		`vm_words_bucket{le="+Inf"} 2`,
+		"vm_words_sum 10",
+		"vm_words_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryPanicsOnDuplicateAndBadBounds(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	mustPanic(t, "duplicate", func() { r.Gauge("x", "") })
+	mustPanic(t, "bounds", func() { r.Histogram("y", "", []float64{2, 1}) })
+	mustPanic(t, "negative add", func() { r.Counter("z", "").Add(-1) })
+}
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	f()
+}

@@ -86,6 +86,7 @@ func decode(flat []float64) []Msg {
 func Route(p *hypercube.Proc, tag int, outgoing []Msg) []Msg {
 	p.BeginSpan("route")
 	defer p.EndSpan()
+	p.NoteCollective("route", p.FullMask(), tag)
 	for _, m := range outgoing {
 		if m.Dst < 0 || m.Dst >= p.P() {
 			panic(fmt.Sprintf("router: destination %d out of range [0,%d)", m.Dst, p.P()))
@@ -127,6 +128,7 @@ func Route(p *hypercube.Proc, tag int, outgoing []Msg) []Msg {
 func Request(p *hypercube.Proc, tag int, want []Msg, serve func(key int) []float64) [][]float64 {
 	p.BeginSpan("route-request")
 	defer p.EndSpan()
+	p.NoteCollective("route-request", p.FullMask(), tag)
 	// Phase 1: route the requests. Key carries the requested item;
 	// the payload carries the requester's address and request index.
 	reqs := make([]Msg, len(want))

@@ -8,6 +8,11 @@
 #
 # Simulated results are deterministic, so any table change this script
 # surfaces is a real behavioral change, not noise.
+#
+# Set CHECK_ARTIFACT_DIR to keep the produced artifacts (profile and
+# trace JSON, the demo post-mortem, metrics, the fresh benchmark
+# snapshot) instead of discarding them — CI uses this to upload them
+# on failure.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -49,8 +54,13 @@ go test -race -run 'Profile|Span|Congestion|LinkVolumes' ./internal/hypercube/ .
 # End-to-end profiled run: the JSON profile on stdout must parse, and
 # the Chrome trace written next to it must parse, or the exporters
 # regressed.
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+if [ -n "${CHECK_ARTIFACT_DIR:-}" ]; then
+	mkdir -p "$CHECK_ARTIFACT_DIR"
+	tmpdir=$CHECK_ARTIFACT_DIR
+else
+	tmpdir=$(mktemp -d)
+	trap 'rm -rf "$tmpdir"' EXIT
+fi
 go run ./cmd/vmprim -profile E1 -json -trace-out "$tmpdir/trace.json" >"$tmpdir/profile.json"
 python3 - "$tmpdir/profile.json" "$tmpdir/trace.json" <<'PYEOF'
 import json, sys
@@ -64,5 +74,38 @@ assert trace["traceEvents"], "Chrome trace empty"
 print("profiled run: %d procs, %d top-level spans, %d trace events" %
       (prof["p"], len(root["children"]), len(trace["traceEvents"])))
 PYEOF
+
+# End-to-end post-mortem: a deliberately deadlocked run must produce a
+# structured report that names every processor's blocked receive, and
+# the metrics snapshot must record the failed run. The command itself
+# exits nonzero unless the report shows all procs blocked.
+go run ./cmd/vmprim -demo-deadlock -recv-timeout 300ms \
+	-postmortem-out "$tmpdir/postmortem.json" \
+	-metrics-out "$tmpdir/metrics.prom" >"$tmpdir/postmortem.txt"
+python3 - "$tmpdir/postmortem.json" <<'PYEOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+assert rep["blocked"] == rep["p"] == 4, "not every proc blocked: %s" % rep
+for ps in rep["procs"]:
+    assert ps["wait"] == "recv" and ps["wait_dim"] >= 0, \
+        "proc %d not blocked in recv" % ps["id"]
+    vts = [ev["vt_us"] for ev in ps["events"]]
+    assert vts == sorted(vts), "flight events out of VT order"
+assert len(rep["links"]) == 4, "expected 4 occupied links"
+print("post-mortem: %d/%d procs blocked, %d occupied links" %
+      (rep["blocked"], rep["p"], len(rep["links"])))
+PYEOF
+grep -q '^vmprim_run_failures_total 1$' "$tmpdir/metrics.prom" || {
+	echo "metrics.prom did not record the failed run" >&2
+	exit 1
+}
+
+# Continuous-benchmark gate: a fresh 1-iteration host run must
+# reproduce the committed snapshot's simulated times bit for bit.
+# Host ns/op at -benchtime 1x is pure noise and stays informational
+# (benchdiff gates it only under -gate-host).
+go run ./cmd/hostbench -d 4 -n 64 -benchtime 1x -json \
+	-o "$tmpdir/bench-fresh.json" 2>/dev/null
+go run ./cmd/benchdiff -old BENCH_2.json:gate -new "$tmpdir/bench-fresh.json"
 
 echo "check.sh: all clean"

@@ -27,11 +27,15 @@
 package vmprim
 
 import (
+	"time"
+
 	"vmprim/internal/apps"
 	"vmprim/internal/core"
 	"vmprim/internal/costmodel"
 	"vmprim/internal/embed"
+	"vmprim/internal/flightrec"
 	"vmprim/internal/hypercube"
+	"vmprim/internal/metrics"
 	"vmprim/internal/obs"
 	"vmprim/internal/serial"
 )
@@ -70,6 +74,37 @@ type (
 	// LinkLoad is the word volume of one directed cube link.
 	LinkLoad = obs.LinkLoad
 )
+
+// Post-mortems, flight recorder and metrics (internal/hypercube,
+// internal/flightrec, internal/metrics). A failed run's error wraps a
+// *RunError whose Report is the structured post-mortem: per-processor
+// blocked state, recent flight-recorder events, open span stacks and
+// link occupancy, renderable as text (WriteText) or JSON (WriteJSON).
+// Machine.Metrics() is the machine's metrics registry; its Snapshot
+// serializes as JSON (WriteJSON) or Prometheus text (WritePrometheus).
+type (
+	// RunError is the error a failed Machine.Run returns, carrying the
+	// post-mortem Report. Extract it with errors.As.
+	RunError = hypercube.RunError
+	// PostMortemReport is the structured post-mortem of a failed run.
+	PostMortemReport = flightrec.Report
+	// ProcPostMortem is one processor's state within a post-mortem.
+	ProcPostMortem = flightrec.ProcState
+	// LinkPostMortem is one occupied link within a post-mortem.
+	LinkPostMortem = flightrec.LinkState
+	// FlightEvent is one flight-recorder ring entry.
+	FlightEvent = flightrec.Event
+	// MetricsRegistry is a machine's named counter/gauge/histogram set.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of a MetricsRegistry.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// SetDefaultRecvTimeout changes the deadlock-watchdog timeout applied
+// to machines created afterwards; d <= 0 restores the built-in
+// default (hypercube.DefaultRecvTimeout, 30s). Existing machines keep
+// their timeout — use Machine.SetRecvTimeout for those.
+func SetDefaultRecvTimeout(d time.Duration) { hypercube.SetDefaultRecvTimeout(d) }
 
 // NewMachine returns a 2^dim-processor machine; it panics on invalid
 // arguments (use hypercube.New for the error-returning form).
