@@ -1,4 +1,4 @@
-// Command vmlint runs the repository's static-analysis suite: four
+// Command vmlint runs the repository's static-analysis suite: five
 // analyzers that enforce at compile time the invariants the simulator
 // otherwise only checks (or fails to check) at run time.
 //
@@ -8,15 +8,26 @@
 //	                control-flow path
 //	spmdsym         collectives are not control-dependent on
 //	                processor identity inside SPMD code
+//	collorder       all processors execute the same communication
+//	                sequence with agreeing dims, masks, tags and roots
 //	simdeterminism  no wall-clock reads, global rand, or
 //	                map-order-dependent communication in the simulator
 //
+// A sixth, collectives, runs implicitly: it summarizes which functions
+// perform collectives and which return identity-derived values, and
+// exports those summaries as package facts so spmdsym and collorder
+// see through package boundaries.
+//
 // Usage, standalone:
 //
-//	vmlint ./...               # from the module root
+//	vmlint ./...                # from the module root
 //	vmlint ./internal/apps
+//	vmlint -fix ./...           # apply suggested fixes in place
+//	vmlint -diff ./...          # print fixes as diffs, change nothing
+//	vmlint -suppressions ./...  # audit //lint:allow directives
 //
-// or as a go vet tool, which integrates with the build cache:
+// or as a go vet tool, which integrates with the build cache and
+// carries facts between packages through vet's vetx files:
 //
 //	go vet -vettool=$(command -v vmlint) ./...
 //
@@ -25,16 +36,22 @@
 //	//lint:allow <analyzer> <reason>
 //
 // on the diagnostic's line, the line above it, or in the doc comment
-// of the enclosing declaration. The reason is mandatory.
+// of the enclosing declaration. The reason is mandatory, and a
+// directive that no longer suppresses anything is itself a finding.
 //
-// Exit status: 0 for no findings, 2 for findings, 1 for operational
-// errors (unparseable packages, type errors).
+// Exit status: 0 for no findings, 2 for findings (with -fix, findings
+// that remain after the fixes were applied), 1 for operational errors
+// (unparseable packages, type errors).
 package main
 
 import (
+	"flag"
 	"fmt"
+	"go/token"
 	"os"
+	"sort"
 
+	"vmprim/internal/analysis/collorder"
 	"vmprim/internal/analysis/framework"
 	"vmprim/internal/analysis/recyclecheck"
 	"vmprim/internal/analysis/simdeterminism"
@@ -47,6 +64,7 @@ func analyzers() []*framework.Analyzer {
 		recyclecheck.Analyzer,
 		spanbalance.Analyzer,
 		spmdsym.Analyzer,
+		collorder.Analyzer,
 		simdeterminism.Analyzer,
 	}
 }
@@ -60,23 +78,107 @@ func main() {
 		return
 	}
 
-	if len(args) == 0 {
-		args = []string{"./..."}
+	flags := flag.NewFlagSet("vmlint", flag.ExitOnError)
+	fix := flags.Bool("fix", false, "apply suggested fixes to the source files")
+	diff := flags.Bool("diff", false, "print suggested fixes as unified diffs without applying them")
+	suppressions := flags.Bool("suppressions", false, "list //lint:allow directives instead of findings")
+	flags.Parse(args)
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
 	}
-	pkgs, err := framework.Load(".", args...)
+
+	pkgs, err := framework.Load(".", patterns...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vmlint:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	findings, err := framework.Run(pkgs, analyzers())
+	res, err := framework.Run(pkgs, analyzers())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "vmlint:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+
+	if *suppressions {
+		listSuppressions(res.Suppressions)
+		return
+	}
+
+	if *fix || *diff {
+		fixed, err := framework.ApplyFixes(fsetOf(pkgs), res.Findings)
+		if err != nil {
+			fatal(err)
+		}
+		if *diff {
+			var paths []string
+			for path := range fixed {
+				paths = append(paths, path)
+			}
+			sort.Strings(paths)
+			for _, path := range paths {
+				old, err := os.ReadFile(path)
+				if err != nil {
+					fatal(err)
+				}
+				fmt.Print(framework.Diff(path, old, fixed[path]))
+			}
+		} else if err := framework.WriteFixedFiles(fixed); err != nil {
+			fatal(err)
+		} else if len(fixed) > 0 {
+			fmt.Fprintf(os.Stderr, "vmlint: fixed %d file(s)\n", len(fixed))
+		}
+		if *fix {
+			// Report only what the fixes did not resolve: findings that
+			// carried no fix. Fixed diagnostics are gone from the source.
+			var remaining []framework.Finding
+			for _, f := range res.Findings {
+				if len(f.Fixes) == 0 {
+					remaining = append(remaining, f)
+				}
+			}
+			report(remaining)
+			return
+		}
+		report(res.Findings)
+		return
+	}
+
+	report(res.Findings)
+}
+
+// report prints findings and exits 2 if there are any.
+func report(findings []framework.Finding) {
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f.String())
 	}
 	if len(findings) > 0 {
 		os.Exit(2)
 	}
+}
+
+// listSuppressions prints the suppression audit: every live
+// //lint:allow directive with its reason and whether it still
+// suppresses anything.
+func listSuppressions(sup []framework.Suppression) {
+	for _, s := range sup {
+		status := "used"
+		if !s.Used {
+			status = "STALE"
+		}
+		fmt.Printf("%s:%d: %-5s //lint:allow %s — %s\n", s.File, s.Line, status, s.Analyzer, s.Reason)
+	}
+	if len(sup) == 0 {
+		fmt.Println("no //lint:allow directives")
+	}
+}
+
+// fsetOf returns the FileSet shared by the loaded packages.
+func fsetOf(pkgs []*framework.Package) *token.FileSet {
+	if len(pkgs) == 0 {
+		return token.NewFileSet()
+	}
+	return pkgs[0].Fset
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vmlint:", err)
+	os.Exit(1)
 }

@@ -24,7 +24,14 @@
 // source, recursively; imports with no fixture directory (time,
 // math/rand) fall back to the compiler's export data via `go list
 // -export`, so fixtures may use the standard library freely without
-// the test shipping stubs for it.
+// the test shipping stubs for it. Imported fixture packages are also
+// analyzed, facts-only, so cross-package facts flow as they do under
+// the real drivers.
+//
+// RunWithSuggestedFixes additionally applies the findings' suggested
+// fixes and compares each changed file against its <file>.golden
+// sibling, then re-analyzes the fixed tree to prove the fixes are
+// complete and idempotent.
 package analysistest
 
 import (
@@ -52,20 +59,155 @@ import (
 // Run applies a to each fixture package (by import path, rooted at
 // testdata/src) and reports every mismatch between the diagnostics
 // and the fixtures' // want expectations as a test error.
+//
+// Fixture packages the target imports are analyzed too, facts-only —
+// their diagnostics are discarded but their package facts flow to the
+// target, mirroring what `vmlint ./...` and the vet driver do. A
+// cross-package expectation (a taint source in one fixture package, a
+// want comment in its importer) therefore tests the fact path.
 func Run(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
 	t.Helper()
-	l := newLoader(testdata)
 	for _, path := range pkgpaths {
-		pkg, err := l.load(path)
-		if err != nil {
-			t.Fatalf("loading fixture %s: %v", path, err)
-		}
-		findings, err := framework.Run([]*framework.Package{pkg}, []*framework.Analyzer{a})
-		if err != nil {
-			t.Fatalf("running %s on %s: %v", a.Name, path, err)
-		}
-		checkExpectations(t, l.fset, pkg, findings)
+		res, l := analyze(t, testdata, a, path, true)
+		checkExpectations(t, l.fset, l.pkgs[path], res.Findings)
 	}
+}
+
+// Findings runs a over one fixture package and returns the raw
+// findings, ignoring want comments. withFacts controls whether the
+// target's fixture dependencies are analyzed for their facts first;
+// a test asserts cross-package detection by comparing the two modes.
+func Findings(t *testing.T, testdata string, a *framework.Analyzer, path string, withFacts bool) []framework.Finding {
+	t.Helper()
+	res, _ := analyze(t, testdata, a, path, withFacts)
+	return res.Findings
+}
+
+// Result runs a over one fixture package and returns the complete
+// run result — findings plus the suppression audit — together with
+// the FileSet positioning them, for tests that assert on suppressions
+// or drive framework.ApplyFixes themselves. withFacts is as in
+// Findings.
+func Result(t *testing.T, testdata string, a *framework.Analyzer, path string, withFacts bool) (*framework.RunResult, *token.FileSet) {
+	t.Helper()
+	res, l := analyze(t, testdata, a, path, withFacts)
+	return res, l.fset
+}
+
+// RunWithSuggestedFixes is Run plus fix validation: the fixes carried
+// by the findings are applied, each changed file must match its
+// checked-in <file>.golden sibling, and re-analyzing the fixed tree
+// must produce no further fixable findings (fix application is
+// complete and idempotent).
+func RunWithSuggestedFixes(t *testing.T, testdata string, a *framework.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	Run(t, testdata, a, pkgpaths...)
+	for _, path := range pkgpaths {
+		res, l := analyze(t, testdata, a, path, true)
+		fixed, err := framework.ApplyFixes(l.fset, res.Findings)
+		if err != nil {
+			t.Fatalf("applying fixes for %s: %v", path, err)
+		}
+		for file, got := range fixed {
+			want, err := os.ReadFile(file + ".golden")
+			if err != nil {
+				t.Errorf("%s: fixes were applied but no .golden file exists: %v", file, err)
+				continue
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: fixed output differs from %s.golden:\n%s",
+					file, filepath.Base(file), framework.Diff(file, want, got))
+			}
+		}
+		if len(fixed) > 0 {
+			checkIdempotent(t, testdata, a, path, fixed)
+		}
+	}
+}
+
+// checkIdempotent re-analyzes the fixture tree with the fixed files
+// swapped in and fails if any finding still carries a fix: applying
+// fixes twice must be the same as applying them once.
+func checkIdempotent(t *testing.T, testdata string, a *framework.Analyzer, path string, fixed map[string][]byte) {
+	t.Helper()
+	src := filepath.Join(testdata, "src")
+	tmp := t.TempDir()
+	tmpSrc := filepath.Join(tmp, "src")
+	if err := copyTree(src, tmpSrc); err != nil {
+		t.Fatalf("copying fixtures: %v", err)
+	}
+	for file, content := range fixed {
+		rel, err := filepath.Rel(src, file)
+		if err != nil {
+			t.Fatalf("fixed file %s outside testdata: %v", file, err)
+		}
+		if err := os.WriteFile(filepath.Join(tmpSrc, rel), content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, _ := analyze(t, tmp, a, path, true)
+	for _, f := range res.Findings {
+		if len(f.Fixes) > 0 {
+			t.Errorf("after applying fixes, %s still offers a fix (fix application is not idempotent)", f)
+		}
+	}
+}
+
+// copyTree copies a fixture directory recursively.
+func copyTree(src, dst string) error {
+	return filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+}
+
+// analyze loads path (plus, optionally, its fixture dependencies as
+// facts-only packages) into one runner invocation and returns the
+// result with the loader.
+func analyze(t *testing.T, testdata string, a *framework.Analyzer, path string, withFacts bool) (*framework.RunResult, *loader) {
+	t.Helper()
+	l := newLoader(testdata)
+	target, err := l.load(path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	pkgs := []*framework.Package{target}
+	if withFacts {
+		// The loader cache now holds every fixture package the target
+		// (transitively) imports; analyze them facts-only, exactly as
+		// the standalone driver treats in-module dependencies.
+		var deps []string
+		for p := range l.pkgs {
+			if p != path {
+				deps = append(deps, p)
+			}
+		}
+		sort.Strings(deps)
+		for _, p := range deps {
+			dep := l.pkgs[p]
+			dep.FactsOnly = true
+			pkgs = append(pkgs, dep)
+		}
+	}
+	res, err := framework.Run(pkgs, []*framework.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, path, err)
+	}
+	return res, l
 }
 
 // expectation is one parsed // want regexp.

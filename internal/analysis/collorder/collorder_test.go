@@ -1,0 +1,30 @@
+package collorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vmprim/internal/analysis/analysistest"
+	"vmprim/internal/analysis/collorder"
+)
+
+func TestCollOrder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), collorder.Analyzer,
+		"vmprim/internal/apps/corder")
+}
+
+// TestCrossPackageFacts drives the same fixture with and without
+// dependency facts: the identity taint of xhelp.Quadrant and the
+// collectiveness of xhelp.SumAll are known only through package
+// facts, so the diagnostics must appear when facts flow and vanish
+// when they do not.
+func TestCrossPackageFacts(t *testing.T) {
+	testdata := filepath.Join("..", "testdata")
+	analysistest.Run(t, testdata, collorder.Analyzer, "vmprim/internal/apps/xuse")
+
+	findings := analysistest.Findings(t, testdata, collorder.Analyzer,
+		"vmprim/internal/apps/xuse", false)
+	for _, f := range findings {
+		t.Errorf("with facts disabled, cross-package diagnostic still reported: %s", f)
+	}
+}

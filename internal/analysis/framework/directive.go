@@ -18,7 +18,8 @@ import (
 // bare directives. A directive applies to
 //
 //   - the source line it appears on (trailing comment),
-//   - the line immediately below (standalone comment line), and
+//   - the line immediately below its comment group — so several
+//     directives stacked above one statement all apply to it — and
 //   - the whole declaration, when it is part of a declaration's doc
 //     comment.
 
@@ -31,6 +32,12 @@ type directive struct {
 	reason   string
 	file     string // filename of the comment
 	line     int    // line of the comment
+	// groupEnd is the last line of the comment group the directive sits
+	// in: the directive also covers groupEnd+1, so a stack of
+	// directives above one statement all reach it.
+	groupEnd int
+	pos, end token.Pos
+	used     bool // suppressed at least one diagnostic this run
 	// declRange is set when the directive sits in a declaration's doc
 	// comment: the directive then covers [declPos, declEnd].
 	declPos, declEnd token.Pos
@@ -46,7 +53,7 @@ type malformedDirective struct {
 
 // parseDirectives extracts every suppression directive from a file,
 // attaching doc-comment directives to their declaration's range.
-func parseDirectives(fset *token.FileSet, f *ast.File) (ds []directive, bad []malformedDirective) {
+func parseDirectives(fset *token.FileSet, f *ast.File) (ds []*directive, bad []malformedDirective) {
 	// Map each doc comment group to its declaration's extent.
 	docRange := make(map[*ast.CommentGroup][2]token.Pos)
 	for _, decl := range f.Decls {
@@ -80,11 +87,14 @@ func parseDirectives(fset *token.FileSet, f *ast.File) (ds []directive, bad []ma
 				continue
 			}
 			pos := fset.Position(c.Pos())
-			d := directive{
+			d := &directive{
 				analyzer: fields[0],
 				reason:   strings.Join(fields[1:], " "),
 				file:     pos.Filename,
 				line:     pos.Line,
+				groupEnd: fset.Position(cg.End()).Line,
+				pos:      c.Pos(),
+				end:      c.End(),
 			}
 			if r, ok := docRange[cg]; ok {
 				d.declPos, d.declEnd = r[0], r[1]
@@ -104,5 +114,5 @@ func (d *directive) suppresses(analyzer string, pos token.Position, tokPos token
 	if d.declPos.IsValid() && d.declPos <= tokPos && tokPos <= d.declEnd {
 		return true
 	}
-	return d.file == pos.Filename && (d.line == pos.Line || d.line+1 == pos.Line)
+	return d.file == pos.Filename && (d.line == pos.Line || d.groupEnd+1 == pos.Line)
 }

@@ -1,0 +1,210 @@
+package framework
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// Suggested-fix application (vmlint -fix / -diff).
+//
+// Each finding contributes at most its first SuggestedFix. Edits are
+// deduplicated (several diagnostics may propose the identical edit,
+// e.g. one defer-EndSpan insertion fixing every unbalanced path) and
+// applied in one pass per file; of two overlapping edits the earlier
+// one wins and the later is dropped. Application is by construction
+// idempotent at the tool level: every fix removes the diagnostic that
+// proposed it, so a second run proposes nothing.
+
+// fileEdit is one TextEdit resolved to byte offsets within its file.
+type fileEdit struct {
+	start, end int
+	newText    []byte
+}
+
+// ApplyFixes computes the fixed contents of every file changed by the
+// findings' suggested fixes, returning path -> new content. Nothing
+// is written to disk; see WriteFixedFiles.
+func ApplyFixes(fset *token.FileSet, findings []Finding) (map[string][]byte, error) {
+	perFile := make(map[string][]fileEdit)
+	for _, f := range findings {
+		if len(f.Fixes) == 0 {
+			continue
+		}
+		for _, te := range f.Fixes[0].TextEdits {
+			pos := fset.Position(te.Pos)
+			end := pos
+			if te.End.IsValid() {
+				end = fset.Position(te.End)
+			}
+			if end.Filename != pos.Filename || end.Offset < pos.Offset {
+				return nil, fmt.Errorf("%s: malformed suggested fix range", f)
+			}
+			perFile[pos.Filename] = append(perFile[pos.Filename],
+				fileEdit{start: pos.Offset, end: end.Offset, newText: te.NewText})
+		}
+	}
+
+	out := make(map[string][]byte, len(perFile))
+	for path, edits := range perFile {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		fixed := applyEdits(src, edits)
+		if !bytes.Equal(fixed, src) {
+			out[path] = fixed
+		}
+	}
+	return out, nil
+}
+
+// WriteFixedFiles writes the ApplyFixes result back to disk.
+func WriteFixedFiles(fixed map[string][]byte) error {
+	for path, content := range fixed {
+		info, err := os.Stat(path)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, content, info.Mode().Perm()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyEdits applies edits to src: dedupe, sort, drop overlaps,
+// widen whole-line deletions, then splice back to front.
+func applyEdits(src []byte, edits []fileEdit) []byte {
+	// Dedupe identical edits.
+	seen := make(map[string]bool, len(edits))
+	uniq := edits[:0]
+	for _, e := range edits {
+		key := fmt.Sprintf("%d:%d:%s", e.start, e.end, e.newText)
+		if !seen[key] {
+			seen[key] = true
+			uniq = append(uniq, e)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool {
+		if uniq[i].start != uniq[j].start {
+			return uniq[i].start < uniq[j].start
+		}
+		return uniq[i].end < uniq[j].end
+	})
+	// Drop edits overlapping an earlier-kept one.
+	kept := uniq[:0]
+	prevEnd := -1
+	for _, e := range uniq {
+		if e.start < prevEnd {
+			continue
+		}
+		kept = append(kept, e)
+		if e.end > prevEnd {
+			prevEnd = e.end
+		}
+	}
+	// Widen pure deletions that leave only whitespace on their line to
+	// delete the whole line: removing a stale //lint:allow comment
+	// must not leave a blank (or trailing-whitespace) line behind,
+	// which gofmt would then flag.
+	for i, e := range kept {
+		if len(e.newText) != 0 {
+			continue
+		}
+		ls := e.start
+		for ls > 0 && src[ls-1] != '\n' {
+			ls--
+		}
+		le := e.end
+		for le < len(src) && src[le] != '\n' {
+			le++
+		}
+		if !isBlank(src[ls:e.start]) || !isBlank(src[e.end:le]) {
+			continue
+		}
+		if le < len(src) {
+			le++ // take the newline too
+		}
+		kept[i].start, kept[i].end = ls, le
+	}
+	var buf bytes.Buffer
+	last := 0
+	for _, e := range kept {
+		buf.Write(src[last:e.start])
+		buf.Write(e.newText)
+		last = e.end
+	}
+	buf.Write(src[last:])
+	return buf.Bytes()
+}
+
+func isBlank(b []byte) bool {
+	for _, c := range b {
+		if c != ' ' && c != '\t' {
+			return false
+		}
+	}
+	return true
+}
+
+// Diff renders a compact unified-style diff of one file's pending
+// fixes: the common prefix and suffix are trimmed and the differing
+// middle is shown as one hunk with two lines of context. It is a
+// review aid for -diff dry runs, not a patch format.
+func Diff(path string, old, new []byte) string {
+	if bytes.Equal(old, new) {
+		return ""
+	}
+	ol := splitLines(old)
+	nl := splitLines(new)
+	p := 0
+	for p < len(ol) && p < len(nl) && ol[p] == nl[p] {
+		p++
+	}
+	s := 0
+	for s < len(ol)-p && s < len(nl)-p && ol[len(ol)-1-s] == nl[len(nl)-1-s] {
+		s++
+	}
+	const ctx = 2
+	lead := p - ctx
+	if lead < 0 {
+		lead = 0
+	}
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "--- %s\n+++ %s (fixed)\n", path, path)
+	fmt.Fprintf(&buf, "@@ -%d,%d +%d,%d @@\n",
+		lead+1, len(ol)-s-lead, lead+1, len(nl)-s-lead)
+	for _, l := range ol[lead:p] {
+		fmt.Fprintf(&buf, " %s", l)
+	}
+	for _, l := range ol[p : len(ol)-s] {
+		fmt.Fprintf(&buf, "-%s", l)
+	}
+	for _, l := range nl[p : len(nl)-s] {
+		fmt.Fprintf(&buf, "+%s", l)
+	}
+	tail := len(ol) - s
+	for _, l := range ol[tail:min(tail+ctx, len(ol))] {
+		fmt.Fprintf(&buf, " %s", l)
+	}
+	return buf.String()
+}
+
+// splitLines splits keeping the trailing newline on each line, so a
+// missing final newline is visible in the diff.
+func splitLines(b []byte) []string {
+	var out []string
+	for len(b) > 0 {
+		i := bytes.IndexByte(b, '\n')
+		if i < 0 {
+			out = append(out, string(b)+"\n\\ no newline at end of file\n")
+			break
+		}
+		out = append(out, string(b[:i+1]))
+		b = b[i+1:]
+	}
+	return out
+}

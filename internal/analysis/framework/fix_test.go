@@ -1,0 +1,77 @@
+package framework
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApplyEditsDedupesIdenticalInsertions(t *testing.T) {
+	src := []byte("abcdef")
+	// Two diagnostics proposing the same insertion (the defer-EndSpan
+	// shape: every unbalanced path proposes the one defer) apply once.
+	e := fileEdit{start: 3, end: 3, newText: []byte("XX")}
+	if got := string(applyEdits(src, []fileEdit{e, e})); got != "abcXXdef" {
+		t.Errorf("got %q, want %q", got, "abcXXdef")
+	}
+}
+
+func TestApplyEditsDropsOverlaps(t *testing.T) {
+	src := []byte("abcdef")
+	got := string(applyEdits(src, []fileEdit{
+		{start: 2, end: 4, newText: []byte("X")},
+		{start: 3, end: 5, newText: []byte("Y")},
+	}))
+	// The later edit overlaps the earlier one and is dropped whole.
+	if got != "abXef" {
+		t.Errorf("got %q, want %q", got, "abXef")
+	}
+}
+
+func TestApplyEditsWidensWholeLineDeletion(t *testing.T) {
+	src := "keep\n\t// stale\nnext\n"
+	start := strings.Index(src, "//")
+	end := start + len("// stale")
+	got := string(applyEdits([]byte(src), []fileEdit{{start: start, end: end}}))
+	// Deleting just the comment would leave "\t\n"; the edit widens to
+	// take the whole line including its newline.
+	if got != "keep\nnext\n" {
+		t.Errorf("got %q, want %q", got, "keep\nnext\n")
+	}
+}
+
+func TestApplyEditsKeepsPartialLineDeletion(t *testing.T) {
+	src := "x := 1 // stale\nnext\n"
+	start := strings.Index(src, "//")
+	end := start + len("// stale")
+	got := string(applyEdits([]byte(src), []fileEdit{{start: start, end: end}}))
+	// Code shares the line, so the deletion must not widen.
+	if got != "x := 1 \nnext\n" {
+		t.Errorf("got %q, want %q", got, "x := 1 \nnext\n")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	old := []byte("l1\nl2\nl3\nl4\nl5\nl6\n")
+	fixed := []byte("l1\nl2\nl3\nl4x\nl5\nl6\n")
+	if d := Diff("f.go", old, old); d != "" {
+		t.Errorf("identical contents diffed: %q", d)
+	}
+	d := Diff("f.go", old, fixed)
+	for _, want := range []string{
+		"--- f.go\n", "+++ f.go (fixed)\n", "-l4\n", "+l4x\n", " l3\n", " l5\n",
+	} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+	if strings.Contains(d, " l1\n") {
+		t.Errorf("diff shows more than two context lines:\n%s", d)
+	}
+}
+
+func TestDiffMarksMissingFinalNewline(t *testing.T) {
+	d := Diff("f.go", []byte("a"), []byte("a\n"))
+	if !strings.Contains(d, "no newline at end of file") {
+		t.Errorf("missing final newline not marked:\n%s", d)
+	}
+}

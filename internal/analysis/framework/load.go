@@ -41,6 +41,11 @@ type Package struct {
 	// errors is not analyzed; the driver reports the errors instead,
 	// because analyzers assume complete type information.
 	TypeErrors []error
+
+	// FactsOnly marks a package loaded only because a requested
+	// package depends on it: it is analyzed so its facts are available
+	// to importers, but its diagnostics are discarded.
+	FactsOnly bool
 }
 
 // listPackage is the subset of `go list -json` output the loader uses.
@@ -58,6 +63,12 @@ type listPackage struct {
 // matched non-dependency package, and type-checks it against the
 // compiler's export data for its dependencies. The returned packages
 // are sorted by import path and share one FileSet.
+//
+// In-module dependencies of the matched packages that the patterns
+// themselves do not match are loaded too, marked FactsOnly: when
+// vmlint is pointed at a subtree (`vmlint ./internal/apps`), the
+// packages beneath it still see the facts of the packages they
+// import, exactly as they would under `vmlint ./...`.
 //
 // Loading needs no network and no GOPATH contents beyond the module
 // itself: `go list -export` compiles dependencies into the build cache
@@ -93,7 +104,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if lp.Export != "" {
 			exports[lp.ImportPath] = lp.Export
 		}
-		if !lp.DepOnly && !lp.Standard {
+		if !lp.Standard {
 			targets = append(targets, lp)
 		}
 	}
@@ -110,7 +121,7 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, t := range targets {
-		p := &Package{PkgPath: t.ImportPath, Dir: t.Dir, Fset: fset}
+		p := &Package{PkgPath: t.ImportPath, Dir: t.Dir, Fset: fset, FactsOnly: t.DepOnly}
 		var parseErr error
 		for _, gf := range t.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, gf), nil, parser.ParseComments|parser.SkipObjectResolution)

@@ -25,9 +25,12 @@ import (
 // write). Diagnostics go to stderr as file:line:col: messages and a
 // nonzero exit marks the package as failing.
 //
-// This file implements that contract without x/tools. The vmlint
-// analyzers exchange no facts, so the vetx outputs are written empty
-// and dependency units (VetxOnly) return immediately.
+// This file implements that contract without x/tools, facts included:
+// the unit's PackageVetx map names the facts files of its
+// dependencies, which seed the run's fact store, and the store (with
+// the unit's own exported facts merged in) is gob-encoded to
+// VetxOutput for the unit's importers. Dependency units (VetxOnly)
+// run the analyzers for their facts alone and report nothing.
 
 // vetConfig mirrors the JSON the go command writes for a vet unit.
 type vetConfig struct {
@@ -71,42 +74,76 @@ func UnitcheckerMain(args []string, analyzers []*Analyzer) bool {
 	}
 	if len(args) == 1 && args[0] == "-flags" {
 		// Flag-description probe: the go command asks which flags the
-		// tool accepts so it can forward matching vet flags. vmlint
-		// takes none; an empty JSON list says so.
+		// tool accepts so it can forward matching vet flags. vmlint's
+		// own flags (-fix, -diff, -suppressions) are standalone-only;
+		// an empty JSON list keeps vet from forwarding anything.
 		fmt.Println("[]")
 		os.Exit(0)
 	}
 	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
 		return false
 	}
-	exit, err := runUnit(args[0], analyzers)
+	res, vetxOnly, err := RunUnit(args[0], analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "vmlint: %v\n", err)
 		os.Exit(1)
 	}
-	os.Exit(exit)
+	if !vetxOnly {
+		for _, f := range res.Findings {
+			fmt.Fprintf(os.Stderr, "%s\n", f)
+		}
+		if len(res.Findings) > 0 {
+			os.Exit(2)
+		}
+	}
+	os.Exit(0)
 	panic("unreachable")
 }
 
-// runUnit processes one vet unit file.
-func runUnit(cfgFile string, analyzers []*Analyzer) (exit int, err error) {
+// RunUnit processes one vet unit file: it loads the unit package from
+// the cfg, seeds the fact store from the dependencies' vetx files,
+// runs the analyzers, and writes the resulting facts to the unit's
+// vetx output. It is exported for the facts round-trip test; the vet
+// driver goes through UnitcheckerMain. vetxOnly reports that the unit
+// exists only to produce facts (its findings, if any, were discarded).
+func RunUnit(cfgFile string, analyzers []*Analyzer) (res *RunResult, vetxOnly bool, err error) {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
-		return 0, err
+		return nil, false, err
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		return 0, fmt.Errorf("parsing %s: %v", cfgFile, err)
+		return nil, false, fmt.Errorf("parsing %s: %v", cfgFile, err)
 	}
-	// The analyzers are fact-free, so a facts-only unit has no work;
-	// an empty vetx file satisfies the driver either way.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			return 0, err
+
+	// Facts in: the driver hands us the vetx file of every dependency
+	// it ran the tool on. Each file holds that dependency's transitive
+	// fact view, so merging them reconstructs everything our imports
+	// know. Fact types must be registered before decoding.
+	registerFactTypes(analyzers)
+	facts := NewFactStore()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue // missing facts degrade to v1 behavior
+		}
+		if err := facts.Decode(data); err != nil {
+			return nil, false, fmt.Errorf("reading facts from %s: %v", vetx, err)
 		}
 	}
-	if cfg.VetxOnly {
-		return 0, nil
+	writeFacts := func() error {
+		if cfg.VetxOutput == "" {
+			return nil
+		}
+		f, err := os.Create(cfg.VetxOutput)
+		if err != nil {
+			return err
+		}
+		if err := facts.Encode(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 
 	fset := token.NewFileSet()
@@ -125,9 +162,9 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (exit int, err error) {
 		f, err := parser.ParseFile(fset, gf, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
-				return 0, nil
+				return &RunResult{}, cfg.VetxOnly, writeFacts()
 			}
-			return 0, err
+			return nil, false, err
 		}
 		files = append(files, f)
 	}
@@ -142,7 +179,10 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (exit int, err error) {
 		}
 		return os.Open(file)
 	})
-	pkg := &Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files, Info: NewInfo()}
+	pkg := &Package{
+		PkgPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, Files: files,
+		Info: NewInfo(), FactsOnly: cfg.VetxOnly,
+	}
 	conf := types.Config{
 		Importer:  imp,
 		GoVersion: cfg.GoVersion,
@@ -150,18 +190,12 @@ func runUnit(cfgFile string, analyzers []*Analyzer) (exit int, err error) {
 	}
 	pkg.Types, _ = conf.Check(cfg.ImportPath, fset, files, pkg.Info)
 	if len(pkg.TypeErrors) > 0 && cfg.SucceedOnTypecheckFailure {
-		return 0, nil
+		return &RunResult{}, cfg.VetxOnly, writeFacts()
 	}
 
-	findings, err := Run([]*Package{pkg}, analyzers)
+	res, err = RunWithFacts([]*Package{pkg}, analyzers, facts)
 	if err != nil {
-		return 0, err
+		return nil, false, err
 	}
-	for _, f := range findings {
-		fmt.Fprintf(os.Stderr, "%s\n", f)
-	}
-	if len(findings) > 0 {
-		return 2, nil
-	}
-	return 0, nil
+	return res, cfg.VetxOnly, writeFacts()
 }

@@ -15,3 +15,19 @@ func TestRecycleCheck(t *testing.T) {
 		"vmprim/internal/other/rcout",
 	)
 }
+
+// TestSinkFacts: handing a buffer to another package's sink function
+// discharges the obligation only because the sink summary crosses the
+// package boundary as a fact (including through a chain of sinks);
+// borrowing through a non-sink stays a leak.
+func TestSinkFacts(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), recyclecheck.Analyzer,
+		"vmprim/internal/apps/rcfacts")
+}
+
+// TestSuggestedFixes validates the missing-Recycle insertion against
+// the .golden file and proves applying it twice changes nothing.
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, filepath.Join("..", "testdata"), recyclecheck.Analyzer,
+		"vmprim/internal/apps/rcfix")
+}

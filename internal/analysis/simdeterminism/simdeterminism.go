@@ -22,6 +22,7 @@
 package simdeterminism
 
 import (
+	"fmt"
 	"go/ast"
 	"go/types"
 
@@ -48,10 +49,10 @@ var randConstructors = map[string]bool{
 	"NewPCG": true, "NewChaCha8": true, // math/rand/v2
 }
 
-func run(pass *framework.Pass) error {
+func run(pass *framework.Pass) (any, error) {
 	if !vmlib.InScope(pass.Pkg.Path(),
 		vmlib.HypercubePath, vmlib.CollectivePath, vmlib.CorePath, vmlib.AppsPath, vmlib.RouterPath) {
-		return nil
+		return nil, nil
 	}
 	for _, file := range pass.Files {
 		if vmlib.IsTestFile(pass.Fset, file.Pos()) {
@@ -67,7 +68,7 @@ func run(pass *framework.Pass) error {
 			return true
 		})
 	}
-	return nil
+	return nil, nil
 }
 
 // checkCall flags wall-clock and global-rand calls.
@@ -88,10 +89,52 @@ func checkCall(pass *framework.Pass, call *ast.CallExpr) {
 		}
 	case "math/rand", "math/rand/v2":
 		if !randConstructors[f.Name()] {
-			pass.Reportf(call.Pos(),
-				"rand.%s draws from the process-global generator; use rand.New(rand.NewSource(seed)) so runs are reproducible",
-				f.Name())
+			d := framework.Diagnostic{
+				Pos: call.Pos(),
+				Message: fmt.Sprintf(
+					"rand.%s draws from the process-global generator; use rand.New(rand.NewSource(seed)) so runs are reproducible",
+					f.Name()),
+			}
+			if fix := seededRandFix(pass, call, f); fix != nil {
+				d.SuggestedFixes = []framework.SuggestedFix{*fix}
+			}
+			pass.Report(d)
 		}
+	}
+}
+
+// seededRandFix rewrites a package-level rand call to draw from an
+// explicitly seeded generator by replacing the package qualifier:
+// rand.Intn(n) becomes rand.New(rand.NewSource(1)).Intn(n) (or the
+// NewPCG form for math/rand/v2). Every forbidden package-level
+// function is also a *rand.Rand method except v2's generic rand.N, so
+// the rewrite always compiles; seed 1 is a placeholder the author is
+// expected to thread through properly, but even unedited it restores
+// run-to-run reproducibility, which is the invariant being enforced.
+func seededRandFix(pass *framework.Pass, call *ast.CallExpr, f *types.Func) *framework.SuggestedFix {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	qual, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	var repl string
+	switch f.Pkg().Path() {
+	case "math/rand":
+		repl = qual.Name + ".New(" + qual.Name + ".NewSource(1))"
+	case "math/rand/v2":
+		if f.Name() == "N" {
+			return nil // generic helper, not a Rand method
+		}
+		repl = qual.Name + ".New(" + qual.Name + ".NewPCG(1, 2))"
+	default:
+		return nil
+	}
+	return &framework.SuggestedFix{
+		Message:   "draw from an explicitly seeded generator",
+		TextEdits: []framework.TextEdit{{Pos: qual.Pos(), End: qual.End(), NewText: []byte(repl)}},
 	}
 }
 

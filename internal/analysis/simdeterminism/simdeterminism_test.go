@@ -12,3 +12,10 @@ func TestSimDeterminism(t *testing.T) {
 	analysistest.Run(t, filepath.Join("..", "testdata"), simdeterminism.Analyzer,
 		"vmprim/internal/apps/det")
 }
+
+// TestSuggestedFixes validates the seeded-generator rewrite against
+// the .golden file and proves applying it twice changes nothing.
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, filepath.Join("..", "testdata"), simdeterminism.Analyzer,
+		"vmprim/internal/apps/detfix")
+}

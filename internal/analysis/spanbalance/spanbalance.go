@@ -25,9 +25,15 @@
 // arbitrary jumps), as are the one-line BeginSpan/EndSpan forwarding
 // wrappers (core.Env delegating to hypercube.Proc), which are
 // intentionally "unbalanced" in isolation.
+//
+// When a function opens exactly one span at its top level and closes
+// none, the unbalanced-exit diagnostics carry a suggested fix that
+// inserts the idiomatic `defer x.EndSpan()` right after the BeginSpan;
+// vmlint -fix applies it.
 package spanbalance
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 
@@ -42,7 +48,7 @@ var Analyzer = &framework.Analyzer{
 	Run:  run,
 }
 
-func run(pass *framework.Pass) error {
+func run(pass *framework.Pass) (any, error) {
 	for _, file := range pass.Files {
 		if vmlib.IsTestFile(pass.Fset, file.Pos()) {
 			continue
@@ -69,7 +75,70 @@ func run(pass *framework.Pass) error {
 			})
 		}
 	}
-	return nil
+	return nil, nil
+}
+
+// deferFix builds the "insert defer x.EndSpan() after the BeginSpan"
+// fix when the body's span usage is the simple forgotten-defer shape:
+// exactly one BeginSpan, as a top-level statement of the body, and no
+// EndSpan anywhere (inline or deferred). Anything more structured has
+// no single right repair, and the fix stays nil.
+func deferFix(pass *framework.Pass, body *ast.BlockStmt) *framework.SuggestedFix {
+	begins, ends := 0, 0
+	var begin *ast.ExprStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isBegin, ok := vmlib.IsSpanCall(pass.TypesInfo, call); ok {
+				if isBegin {
+					begins++
+				} else {
+					ends++
+				}
+			}
+		}
+		return true
+	})
+	if begins != 1 || ends != 0 {
+		return nil
+	}
+	for _, s := range body.List {
+		es, ok := s.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if isBegin, ok := vmlib.IsSpanCall(pass.TypesInfo, call); ok && isBegin {
+			begin = es
+			break
+		}
+	}
+	if begin == nil {
+		return nil // the one BeginSpan is nested in inner control flow
+	}
+	sel, ok := ast.Unparen(begin.X.(*ast.CallExpr).Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	recv, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pos := pass.Fset.Position(begin.Pos())
+	indent := ""
+	for i := 1; i < pos.Column; i++ {
+		indent += "\t" // gofmt indents with tabs; a fixed file must stay gofmt-clean
+	}
+	text := "\n" + indent + "defer " + recv.Name + ".EndSpan()"
+	return &framework.SuggestedFix{
+		Message:   "defer the matching EndSpan",
+		TextEdits: []framework.TextEdit{{Pos: begin.End(), End: token.NoPos, NewText: []byte(text)}},
+	}
 }
 
 // state is the symbolic span bookkeeping at one program point.
@@ -81,11 +150,24 @@ type state struct {
 // walker carries the per-function check context.
 type walker struct {
 	pass *framework.Pass
+	// fix, when non-nil, is the defer-EndSpan repair attached to this
+	// function's unbalanced-exit diagnostics.
+	fix *framework.SuggestedFix
 	// loopDepth holds the entry depth of each enclosing loop, for
 	// validating break/continue.
 	loopDepth []int
 	inLoop    int
 	bailed    bool // goto seen: abandon the function silently
+}
+
+// reportOpen emits an unbalanced-exit diagnostic, carrying the
+// function's defer-EndSpan fix when one applies.
+func (w *walker) reportOpen(pos token.Pos, format string, args ...any) {
+	d := framework.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)}
+	if w.fix != nil {
+		d.SuggestedFixes = []framework.SuggestedFix{*w.fix}
+	}
+	w.pass.Report(d)
 }
 
 func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
@@ -103,13 +185,13 @@ func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
 	if hasGoto {
 		return
 	}
-	w := &walker{pass: pass}
+	w := &walker{pass: pass, fix: deferFix(pass, body)}
 	st, diverged := w.walkStmts(body.List, state{})
 	if w.bailed || diverged {
 		return
 	}
 	if st.depth != st.credits {
-		w.pass.Reportf(body.Rbrace,
+		w.reportOpen(body.Rbrace,
 			"function ends with %d span(s) still open (BeginSpan without matching EndSpan)",
 			st.depth-st.credits)
 	}
@@ -185,7 +267,7 @@ func (w *walker) walkStmt(s ast.Stmt, st state) (state, bool) {
 
 	case *ast.ReturnStmt:
 		if st.depth != st.credits {
-			w.pass.Reportf(s.Pos(),
+			w.reportOpen(s.Pos(),
 				"return leaves %d span(s) open on this path (EndSpan is not deferred and this exit misses it)",
 				st.depth-st.credits)
 		}

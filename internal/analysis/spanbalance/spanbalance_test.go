@@ -12,3 +12,10 @@ func TestSpanBalance(t *testing.T) {
 	analysistest.Run(t, filepath.Join("..", "testdata"), spanbalance.Analyzer,
 		"vmprim/internal/apps/span")
 }
+
+// TestSuggestedFixes validates the defer-EndSpan insertion against
+// the .golden file and proves applying it twice changes nothing.
+func TestSuggestedFixes(t *testing.T) {
+	analysistest.RunWithSuggestedFixes(t, filepath.Join("..", "testdata"), spanbalance.Analyzer,
+		"vmprim/internal/apps/spanfix")
+}

@@ -16,49 +16,46 @@
 // tainted value.
 //
 // The check is applied to the packages built on top of the collective
-// layer (core, apps, bench). The collective and hypercube packages
-// themselves are exempt: their internals are deliberately
-// rank-asymmetric — a binomial-tree broadcast is nothing but
-// rank-dependent sends and receives — and their point-to-point
-// structure is what the collectives' own protocol tests verify.
+// layer (core, apps, bench) and to the top-level code written against
+// the facade (the vmprim package itself, examples, commands). The
+// collective and hypercube packages themselves are exempt: their
+// internals are deliberately rank-asymmetric — a binomial-tree
+// broadcast is nothing but rank-dependent sends and receives — and
+// their point-to-point structure is what the collectives' own protocol
+// tests verify.
 //
-// Helpers are handled interprocedurally within a package: a function
-// that (transitively) performs a collective is itself treated as one
-// at its call sites, so hiding a Reduce inside a helper and calling
-// the helper under a rank guard is still flagged.
+// Helpers are handled interprocedurally through the collectives base
+// analyzer: a function that (transitively) performs a collective is
+// itself treated as one at its call sites, and a function that returns
+// an identity-derived value is itself an identity source — in the same
+// package or, via package facts, across package boundaries. Hiding a
+// Reduce inside a helper in another package and calling the helper
+// under a rank guard is still flagged.
 package spmdsym
 
 import (
 	"go/ast"
 	"go/token"
-	"go/types"
 
+	"vmprim/internal/analysis/collectives"
 	"vmprim/internal/analysis/framework"
 	"vmprim/internal/analysis/vmlib"
 )
 
 // Analyzer is the spmdsym entry point.
 var Analyzer = &framework.Analyzer{
-	Name: "spmdsym",
-	Doc:  "check that collectives are not control-dependent on processor identity inside SPMD code",
-	Run:  run,
+	Name:     "spmdsym",
+	Doc:      "check that collectives are not control-dependent on processor identity inside SPMD code",
+	Requires: []*framework.Analyzer{collectives.Analyzer},
+	Run:      run,
 }
 
-func run(pass *framework.Pass) error {
-	if !vmlib.InScope(pass.Pkg.Path(), vmlib.CorePath, vmlib.AppsPath, vmlib.BenchPath) {
-		return nil
+func run(pass *framework.Pass) (any, error) {
+	if !vmlib.InScope(pass.Pkg.Path(), vmlib.CorePath, vmlib.AppsPath, vmlib.BenchPath) &&
+		!vmlib.InTopLevelScope(pass.Pkg.Path()) {
+		return nil, nil
 	}
-	// Interprocedural summary: which package-level functions
-	// (transitively) perform a collective operation.
-	collectiveFns := summarize(pass)
-
-	isCollective := func(call *ast.CallExpr) bool {
-		if vmlib.IsCollectiveCall(pass.TypesInfo, call) {
-			return true
-		}
-		f := vmlib.Callee(pass.TypesInfo, call)
-		return f != nil && collectiveFns[f]
-	}
+	summary := pass.ResultOf[collectives.Analyzer].(*collectives.Result)
 
 	for _, file := range pass.Files {
 		if vmlib.IsTestFile(pass.Fset, file.Pos()) {
@@ -67,138 +64,19 @@ func run(pass *framework.Pass) error {
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if ok && fn.Body != nil {
-				checkFunc(pass, fn, isCollective)
+				checkFunc(pass, fn, summary)
 			}
 		}
 	}
-	return nil
-}
-
-// summarize computes, to a fixpoint, the set of functions declared in
-// this package whose bodies (transitively) contain a collective call.
-func summarize(pass *framework.Pass) map[*types.Func]bool {
-	bodies := make(map[*types.Func]*ast.FuncDecl)
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
-				if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
-					bodies[obj] = fn
-				}
-			}
-		}
-	}
-	summary := make(map[*types.Func]bool)
-	for changed := true; changed; {
-		changed = false
-		for obj, fn := range bodies {
-			if summary[obj] {
-				continue
-			}
-			found := false
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				if found {
-					return false
-				}
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if vmlib.IsCollectiveCall(pass.TypesInfo, call) {
-					found = true
-					return false
-				}
-				if f := vmlib.Callee(pass.TypesInfo, call); f != nil && summary[f] {
-					found = true
-					return false
-				}
-				return true
-			})
-			if found {
-				summary[obj] = true
-				changed = true
-			}
-		}
-	}
-	return summary
+	return nil, nil
 }
 
 // checkFunc taints identity-derived locals and flags collectives under
 // tainted control.
-func checkFunc(pass *framework.Pass, fn *ast.FuncDecl, isCollective func(*ast.CallExpr) bool) {
-	info := pass.TypesInfo
-	tainted := make(map[types.Object]bool)
-
-	// exprTainted reports whether e reads processor identity: an ID /
-	// GridRow / GridCol call, or a tainted variable. Two sanitizers:
-	// the result of a collective is replicated — identical on every
-	// processor even when its arguments differ per processor — so a
-	// collective call contributes no taint; and a function literal in
-	// the expression (the SPMD body handed to Machine.Run) does not
-	// taint the host-side result of the call it is passed to.
-	exprTainted := func(e ast.Expr) bool {
-		found := false
-		ast.Inspect(e, func(n ast.Node) bool {
-			if found {
-				return false
-			}
-			switch n := n.(type) {
-			case *ast.FuncLit:
-				return false
-			case *ast.CallExpr:
-				if vmlib.IsProcMethod(info, n, "ID") ||
-					vmlib.IsEnvMethod(info, n, "GridRow", "GridCol") {
-					found = true
-					return false
-				}
-				if isCollective(n) {
-					return false // replicated result: no taint in, none out
-				}
-			case *ast.Ident:
-				if obj := info.Uses[n]; obj != nil && tainted[obj] {
-					found = true
-					return false
-				}
-			}
-			return true
-		})
-		return found
-	}
-
-	// Propagate taint through local assignments to a fixpoint.
-	for changed := true; changed; {
-		changed = false
-		ast.Inspect(fn, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.AssignStmt:
-				if len(n.Lhs) == len(n.Rhs) {
-					for i, r := range n.Rhs {
-						if id, ok := n.Lhs[i].(*ast.Ident); ok && exprTainted(r) {
-							changed = taintIdent(info, tainted, id) || changed
-						}
-					}
-				} else if len(n.Rhs) == 1 && exprTainted(n.Rhs[0]) {
-					for _, l := range n.Lhs {
-						if id, ok := l.(*ast.Ident); ok {
-							changed = taintIdent(info, tainted, id) || changed
-						}
-					}
-				}
-			case *ast.ValueSpec:
-				for i, v := range n.Values {
-					if exprTainted(v) {
-						if len(n.Names) == len(n.Values) {
-							changed = taintIdent(info, tainted, n.Names[i]) || changed
-						} else {
-							for _, name := range n.Names {
-								changed = taintIdent(info, tainted, name) || changed
-							}
-						}
-					}
-				}
-			}
-			return true
-		})
-	}
+func checkFunc(pass *framework.Pass, fn *ast.FuncDecl, summary *collectives.Result) {
+	cfg := summary.TaintConfig()
+	tainted := cfg.Objects(fn)
+	exprTainted := func(e ast.Expr) bool { return cfg.Expr(tainted, e) }
 
 	// Each function literal is its own SPMD scope: the closure passed
 	// to Machine.Run is the SPMD body while the enclosing function is
@@ -213,7 +91,7 @@ func checkFunc(pass *framework.Pass, fn *ast.FuncDecl, isCollective func(*ast.Ca
 		return true
 	})
 	for _, scope := range scopes {
-		checkScope(pass, scope, isCollective, exprTainted, reported)
+		checkScope(pass, scope, summary.IsCollectiveCall, exprTainted, reported)
 	}
 }
 
@@ -332,18 +210,4 @@ func flagIn(pass *framework.Pass, root ast.Node, isCollective func(*ast.CallExpr
 		}
 		return true
 	})
-}
-
-// taintIdent marks id's object tainted, reporting whether that is new
-// information.
-func taintIdent(info *types.Info, tainted map[types.Object]bool, id *ast.Ident) bool {
-	obj := info.Defs[id]
-	if obj == nil {
-		obj = info.Uses[id]
-	}
-	if obj == nil || tainted[obj] {
-		return false
-	}
-	tainted[obj] = true
-	return true
 }

@@ -12,3 +12,25 @@ func TestSPMDSym(t *testing.T) {
 	analysistest.Run(t, filepath.Join("..", "testdata"), spmdsym.Analyzer,
 		"vmprim/internal/apps/spmd")
 }
+
+// TestCrossPackageFacts: the guard's identity taint and the guarded
+// call's collectiveness both come from another package's facts; the
+// diagnostic must appear with facts and vanish without them.
+func TestCrossPackageFacts(t *testing.T) {
+	testdata := filepath.Join("..", "testdata")
+	analysistest.Run(t, testdata, spmdsym.Analyzer, "vmprim/internal/apps/spmdx")
+
+	findings := analysistest.Findings(t, testdata, spmdsym.Analyzer,
+		"vmprim/internal/apps/spmdx", false)
+	for _, f := range findings {
+		t.Errorf("with facts disabled, cross-package diagnostic still reported: %s", f)
+	}
+}
+
+// TestFacadeScope: example code that only touches the vmprim facade
+// (aliased Proc/Env types, package-level kernel wrappers) is analyzed
+// through the facade re-export rules in vmlib.
+func TestFacadeScope(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), spmdsym.Analyzer,
+		"vmprim/examples/exfix")
+}

@@ -1,0 +1,30 @@
+// Fixtures for the top-level scope: example code written against the
+// facade. The kernels called here are facade re-exports — collectives
+// only because vmlib matches package-level vmprim functions by their
+// *Proc/*Env first parameter — so these diagnostics prove that
+// top-level example code is held to the SPMD contracts.
+package exfix
+
+import (
+	"vmprim"
+)
+
+// Lopsided runs a facade kernel on row zero only.
+func Lopsided(e *vmprim.Env) {
+	if e.GridRow() == 0 {
+		vmprim.MatVecKernel(e) // want `MatVecKernel is control-dependent on processor identity`
+	}
+}
+
+// Balanced is fine: every processor calls the kernel.
+func Balanced(e *vmprim.Env) float64 {
+	return vmprim.MatVecKernel(e)
+}
+
+// RingByRank feeds a rank-derived tag into a facade helper; this is
+// collorder territory and must stay clean under spmdsym, so no want
+// comment — the collorder test covers the same package path shape in
+// its own fixture.
+func RingByRank(p *vmprim.Proc, data []float64) []float64 {
+	return vmprim.Ring(p, 4, data)
+}

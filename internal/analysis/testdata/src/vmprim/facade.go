@@ -1,0 +1,26 @@
+// Package vmprim is a typecheck-only stub of the real public facade:
+// type aliases onto the internal packages plus package-level kernel
+// re-exports. vmlib treats package-level vmprim functions whose first
+// parameter is a *Proc or *Env as collectives, which is what brings
+// example and command code into the analyzers' scope; the exfix
+// fixture depends on exactly that.
+package vmprim
+
+import (
+	"vmprim/internal/core"
+	"vmprim/internal/hypercube"
+)
+
+// Proc and Env alias the internal types, as the real facade does.
+type (
+	Proc = hypercube.Proc
+	Env  = core.Env
+)
+
+// MatVecKernel stands in for the facade's re-exported SPMD kernels.
+func MatVecKernel(e *Env) float64 { return e.DotVec() }
+
+// Ring stands in for a facade helper taking the raw Proc.
+func Ring(p *Proc, tag int, data []float64) []float64 {
+	return p.Exchange(0, tag, data)
+}

@@ -1,0 +1,105 @@
+// Fixtures for the collorder analyzer: identity-derived structural
+// arguments and identity-dependent branches whose arms perform
+// different communication sequences.
+package corder
+
+import (
+	"vmprim/internal/collective"
+	"vmprim/internal/hypercube"
+)
+
+// DemoDeadlock is the exact shape of `vmprim -demo-deadlock`: control
+// flow is identical on every processor, but the exchange dimension is
+// computed from the rank, so no two partners agree.
+func DemoDeadlock(p *hypercube.Proc) {
+	d := (p.ID() & 1) ^ ((p.ID() >> 1) & 1)
+	p.Exchange(d, 7, []float64{1, 2}) // want `argument "d" derives from processor identity`
+}
+
+// TagByRank: same bug through the tag instead of the dimension.
+func TagByRank(p *hypercube.Proc, data []float64) {
+	p.Send(0, p.ID(), data) // want `argument "tag" derives from processor identity`
+}
+
+// myDim launders identity through a local helper; the collectives
+// summary marks it an identity source.
+func myDim(p *hypercube.Proc) int { return p.ID() % 2 }
+
+func HelperDim(p *hypercube.Proc, data []float64) {
+	p.Exchange(myDim(p), 7, data) // want `argument "d" derives from processor identity`
+}
+
+// EarlyReturn: rank 0 leaves before the broadcast everyone else joins.
+func EarlyReturn(p *hypercube.Proc, data []float64) {
+	if p.ID() == 0 { // want `communication sequence diverges`
+		return
+	}
+	collective.Bcast(p, 3, 5, 0, data)
+}
+
+// DimMismatch: both arms exchange, but on different dimensions.
+func DimMismatch(p *hypercube.Proc, data []float64) {
+	if p.ID()&1 == 0 { // want `communication sequence diverges`
+		p.Exchange(0, 5, data)
+	} else {
+		p.Exchange(1, 5, data)
+	}
+}
+
+// SwitchDiverge: an identity-tainted switch whose arms run different
+// collectives.
+func SwitchDiverge(p *hypercube.Proc, data []float64) {
+	switch p.ID() { // want `communication sequence diverges`
+	case 0:
+		collective.Bcast(p, 3, 2, 0, data)
+	default:
+		collective.AllGather(p, 3, 2, data)
+	}
+}
+
+// SymmetricPayloads is fine: the structural arguments agree on both
+// arms, only the payload differs — which is the whole point of SPMD.
+func SymmetricPayloads(p *hypercube.Proc, data []float64) {
+	if p.ID() == 0 {
+		collective.AllGather(p, 3, 4, data[:1])
+	} else {
+		collective.AllGather(p, 3, 4, data[1:])
+	}
+}
+
+// UniformChoice is fine: the branch does diverge, but its condition is
+// rank-independent, so every processor takes the same side.
+func UniformChoice(p *hypercube.Proc, big bool, data []float64) {
+	if big {
+		collective.AllGather(p, 3, 1, data)
+	} else {
+		collective.Bcast(p, 3, 1, 0, data)
+	}
+}
+
+// LoopFroth is fine: the rank-0 arm runs a loop full of control flow
+// (including a continue) but no communication, so every processor
+// still meets the broadcast below in the same position.
+func LoopFroth(p *hypercube.Proc, data []float64) {
+	if p.ID() == 0 {
+		for i := range data {
+			if data[i] < 0 {
+				continue
+			}
+			data[i] *= 2
+		}
+	}
+	collective.Bcast(p, 3, 9, 0, data)
+}
+
+// OwnerSwitch is fine: the owner-subcube idiom leads with an untainted
+// "replicate everywhere" guard; the tainted tail cases perform no
+// communication, so the arms cannot fall out of step.
+func OwnerSwitch(p *hypercube.Proc, replicate bool, data []float64) {
+	switch {
+	case replicate:
+		collective.Bcast(p, 3, 5, 0, data)
+	case p.ID() == 0:
+		data[0] = 1
+	}
+}

@@ -1,0 +1,17 @@
+// Fixture for simdeterminism's suggested fix: a package-level rand
+// call is rewritten to draw from an explicitly seeded generator by
+// replacing the package qualifier. The .golden sibling holds the
+// expected output of vmlint -fix.
+package detfix
+
+import "math/rand"
+
+// Jitter draws from the process-global generator.
+func Jitter() float64 {
+	return rand.Float64() // want `draws from the process-global generator`
+}
+
+// Seeded is already reproducible; it must survive -fix byte for byte.
+func Seeded() float64 {
+	return rand.New(rand.NewSource(7)).Float64()
+}

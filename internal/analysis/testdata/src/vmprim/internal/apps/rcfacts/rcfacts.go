@@ -1,0 +1,30 @@
+// Cross-package fixtures for recyclecheck's sink facts: the functions
+// in vmprim/internal/other/sink are known here only through the
+// ownership summary exported when that package was analyzed.
+package rcfacts
+
+import (
+	"vmprim/internal/hypercube"
+	"vmprim/internal/other/sink"
+)
+
+// HandOff is fine: sink.Keep discharges its parameter per the
+// imported fact.
+func HandOff(p *hypercube.Proc) {
+	buf := p.GetBuf(8)
+	buf[0] = 1
+	sink.Keep(buf)
+}
+
+// HandOffChained is fine through the transitive sink KeepVia.
+func HandOffChained(p *hypercube.Proc) {
+	buf := p.GetBuf(8)
+	buf[0] = 1
+	sink.KeepVia(buf)
+}
+
+// Borrowed leaks: sink.Peek reads the buffer but takes no ownership.
+func Borrowed(p *hypercube.Proc) float64 {
+	buf := p.GetBuf(8) // want `buffer "buf" from GetBuf is never recycled`
+	return sink.Peek(buf)
+}

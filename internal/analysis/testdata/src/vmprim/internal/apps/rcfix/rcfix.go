@@ -1,0 +1,21 @@
+// Fixture for recyclecheck's suggested fix: the missing Recycle is
+// inserted after the buffer's last use. The .golden sibling holds the
+// expected output of vmlint -fix.
+package rcfix
+
+import "vmprim/internal/hypercube"
+
+// Leak forgets to recycle; the fix adds p.Recycle(buf) after the last
+// use.
+func Leak(p *hypercube.Proc) {
+	buf := p.GetBuf(8) // want `buffer "buf" from GetBuf is never recycled`
+	buf[0] = 1
+	p.Compute(1)
+}
+
+// Clean already recycles; it must survive -fix byte for byte.
+func Clean(p *hypercube.Proc) {
+	buf := p.GetBuf(8)
+	buf[0] = 1
+	p.Recycle(buf)
+}

@@ -1,0 +1,23 @@
+// Fixture for spanbalance's suggested fix: the forgotten-defer shape
+// (one top-level BeginSpan, no EndSpan anywhere) gets the idiomatic
+// `defer e.EndSpan()` inserted right after the BeginSpan. The .golden
+// sibling holds the expected output of vmlint -fix.
+package spanfix
+
+import "vmprim/internal/core"
+
+// Forgot opens a span and never closes it on either exit path.
+func Forgot(e *core.Env, n int) {
+	e.BeginSpan("work")
+	if n > 0 {
+		return // want `return leaves 1 span\(s\) open`
+	}
+	e.P.Compute(n)
+} // want `function ends with 1 span\(s\) still open`
+
+// Clean already defers; it must survive -fix byte for byte.
+func Clean(e *core.Env, n int) {
+	e.BeginSpan("work")
+	defer e.EndSpan()
+	e.P.Compute(n)
+}

@@ -1,0 +1,20 @@
+// Fixture for the suppression audit: the directive in Clean
+// suppresses nothing and is reported as a "directive" finding whose
+// fix deletes the whole line (see the .golden sibling); the directive
+// in Leaky suppresses a real diagnostic and must survive untouched.
+package stale
+
+import "vmprim/internal/hypercube"
+
+// Clean has no leak, so its directive is stale.
+func Clean(p *hypercube.Proc) {
+	//lint:allow recyclecheck this exception documented a leak that was fixed long ago
+	p.Compute(1)
+}
+
+// Leaky really leaks; the directive is used and is not reported.
+func Leaky(p *hypercube.Proc) {
+	//lint:allow recyclecheck the demonstration buffer intentionally rides until the run ends
+	buf := p.GetBuf(8)
+	buf[0] = 1
+}

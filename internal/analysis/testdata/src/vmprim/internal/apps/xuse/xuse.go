@@ -1,0 +1,26 @@
+// Cross-package fixtures for collorder: the identity source and the
+// collective live in vmprim/internal/other/xhelp and are known here
+// only through package facts. The collorder test also re-runs this
+// package with facts disabled and asserts zero findings — the
+// diagnostics below exist because the facts flow.
+package xuse
+
+import (
+	"vmprim/internal/hypercube"
+	"vmprim/internal/other/xhelp"
+)
+
+// UseQuadrant feeds an imported identity-derived value into an
+// exchange dimension.
+func UseQuadrant(p *hypercube.Proc, data []float64) {
+	p.Exchange(xhelp.Quadrant(p), 7, data) // want `argument "d" derives from processor identity`
+}
+
+// GuardedSum needs both facts at once: Quadrant to taint the guard,
+// SumAll to make the skipped call a communication event.
+func GuardedSum(p *hypercube.Proc, data []float64) {
+	if xhelp.Quadrant(p) == 0 { // want `communication sequence diverges`
+		return
+	}
+	xhelp.SumAll(p, data)
+}

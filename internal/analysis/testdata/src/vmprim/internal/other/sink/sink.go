@@ -1,0 +1,16 @@
+// Package sink is outside recyclecheck's reporting scope, but its
+// ownership summary is still computed and exported as a package fact:
+// Keep discharges its parameter, Peek only borrows it. The rcfacts
+// fixture asserts callers are credited (or not) accordingly.
+package sink
+
+var store [][]float64
+
+// Keep stores its argument; ownership transfers to the package.
+func Keep(buf []float64) { store = append(store, buf) }
+
+// KeepVia forwards to Keep; the sink fixpoint makes it a sink too.
+func KeepVia(buf []float64) { Keep(buf) }
+
+// Peek only reads; the caller keeps the obligation.
+func Peek(buf []float64) float64 { return buf[0] }

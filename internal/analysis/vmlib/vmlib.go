@@ -26,6 +26,14 @@ const (
 	RouterPath     = "vmprim/internal/router"
 	BenchPath      = "vmprim/internal/bench"
 	GrayPath       = "vmprim/internal/gray"
+
+	// FacadePath is the public facade package, which re-exports the
+	// machine model and kernels; ExamplesPath and CmdPath are the
+	// top-level consumers written against it. SPMD code there is held
+	// to the same contracts as the internal tree.
+	FacadePath   = "vmprim"
+	ExamplesPath = "vmprim/examples"
+	CmdPath      = "vmprim/cmd"
 )
 
 // InScope reports whether pkgPath is one of the listed audit roots or
@@ -37,6 +45,14 @@ func InScope(pkgPath string, roots ...string) bool {
 		}
 	}
 	return false
+}
+
+// InTopLevelScope reports whether pkgPath is the facade package
+// itself or one of the example/command packages written against it.
+// (FacadePath cannot go through InScope: every package in the module
+// sits beneath "vmprim/".)
+func InTopLevelScope(pkgPath string) bool {
+	return pkgPath == FacadePath || InScope(pkgPath, ExamplesPath, CmdPath)
 }
 
 // IsTestFile reports whether the file containing pos is a _test.go
@@ -130,8 +146,17 @@ var envLocalMethods = map[string]bool{
 // IsCollectiveCall reports whether call is an operation that every
 // processor of the (sub)machine must execute together: a function of
 // the collective package taking a *hypercube.Proc, a router entry
-// point, a whole-cube Proc method (Barrier and the span pair), or a
-// exported core.Env method outside the local allowlist.
+// point, a facade re-export (a package-level vmprim function whose
+// first parameter is a *Proc or *Env — the kernels), a whole-cube
+// Proc method (Barrier and the span pair), or an exported core.Env
+// method outside the local allowlist.
+//
+// The facade's type aliases (vmprim.Proc = hypercube.Proc and so on)
+// need no special handling — a method called through an alias still
+// resolves to the underlying named type — but its package-level
+// kernel functions carry the facade's own package path, which is why
+// it appears here explicitly: without it, example and top-level test
+// code calling vmprim.MatVecKernel would escape analysis.
 func IsCollectiveCall(info *types.Info, call *ast.CallExpr) bool {
 	f := Callee(info, call)
 	if f == nil {
@@ -139,6 +164,9 @@ func IsCollectiveCall(info *types.Info, call *ast.CallExpr) bool {
 	}
 	if pkg := f.Pkg(); pkg != nil && f.Type().(*types.Signature).Recv() == nil {
 		if InScope(pkg.Path(), CollectivePath, RouterPath) && firstParamIsProc(f) {
+			return true
+		}
+		if pkg.Path() == FacadePath && (firstParamIsProc(f) || firstParamIsEnv(f)) {
 			return true
 		}
 	}
@@ -157,6 +185,16 @@ func IsCollectiveCall(info *types.Info, call *ast.CallExpr) bool {
 // firstParamIsProc reports whether f's first parameter is a
 // *hypercube.Proc — the signature convention of every collective.
 func firstParamIsProc(f *types.Func) bool {
+	return firstParamIsNamed(f, HypercubePath, "Proc")
+}
+
+// firstParamIsEnv reports whether f's first parameter is a *core.Env
+// — the signature convention of the facade's SPMD kernels.
+func firstParamIsEnv(f *types.Func) bool {
+	return firstParamIsNamed(f, CorePath, "Env")
+}
+
+func firstParamIsNamed(f *types.Func, pkgPath, typeName string) bool {
 	sig, ok := f.Type().(*types.Signature)
 	if !ok || sig.Params().Len() == 0 {
 		return false
@@ -170,7 +208,15 @@ func firstParamIsProc(f *types.Func) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Proc" && obj.Pkg() != nil && obj.Pkg().Path() == HypercubePath
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// IsIdentityRead reports whether call reads processor identity
+// directly: Proc.ID, or the grid coordinates Env.GridRow/GridCol
+// derived from it. These are the taint sources of the SPMD-symmetry
+// analyses; values computed from them differ across processors.
+func IsIdentityRead(info *types.Info, call *ast.CallExpr) bool {
+	return IsProcMethod(info, call, "ID") || IsEnvMethod(info, call, "GridRow", "GridCol")
 }
 
 // IsSpanCall classifies call as BeginSpan or EndSpan on either

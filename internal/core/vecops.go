@@ -101,6 +101,7 @@ func (e *Env) ScanVec(v *Vector, op Op) *Vector {
 	// early return, so holder and non-holder tag sequences stay
 	// synchronized for later collectives.
 	tag := e.NextTag()
+	//lint:allow collorder the early return is the non-holder exit: the holder subcube's collectives below exclude non-holders by mask, so the sequences never have to meet
 	if !v.HoldsData(pid) {
 		// Non-holders of a non-replicated aligned vector take no part:
 		// the subcube collective below spans exactly the holder rows.

@@ -42,6 +42,19 @@ go build ./...
 vmlint_bin=$(mktemp)
 go build -o "$vmlint_bin" ./cmd/vmlint
 "$vmlint_bin" ./... || { rm -f "$vmlint_bin"; echo "vmlint failed" >&2; exit 1; }
+# -diff must print nothing: a pending suggested fix is uncommitted
+# mechanical work — run vmlint -fix and commit the result.
+fixes=$("$vmlint_bin" -diff ./...) || { rm -f "$vmlint_bin"; echo "vmlint -diff failed" >&2; exit 1; }
+if [ -n "$fixes" ]; then
+	echo "vmlint -diff: pending suggested fixes; run vmlint -fix and commit:" >&2
+	echo "$fixes" >&2
+	rm -f "$vmlint_bin"
+	exit 1
+fi
+# The same suite through the go vet driver: exercises the -vettool
+# unit-checker protocol, with package facts (identity taint, buffer
+# sinks, collective summaries) crossing packages through vetx files.
+go vet -vettool="$vmlint_bin" ./... || { rm -f "$vmlint_bin"; echo "vmlint (vettool) failed" >&2; exit 1; }
 rm -f "$vmlint_bin"
 
 go test ./...
