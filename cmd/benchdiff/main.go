@@ -20,6 +20,21 @@
 //
 // Benchmarks present on only one side are reported and gate with
 // -gate-sim (a silently dropped benchmark must not pass the sim gate).
+//
+// Two additional modes serve GOMAXPROCS sweeps:
+//
+//   - -each-new-section compares the -old section against EVERY
+//     section of the -new file in turn — the shape of a fresh
+//     `hostbench -sweep` document, proving zero sim drift at every
+//     GOMAXPROCS value with one invocation.
+//   - -sweep FILE.json validates a committed sweep file on its own:
+//     sections named [prefix]gomaxprocs-N are grouped by prefix;
+//     within a group the simulated times must be bit-identical across
+//     all settings, and host ns/op at the highest setting must not
+//     regress beyond -host-threshold versus the lowest (parallelism
+//     must never be a slowdown). Both checks gate: a sweep's rows come
+//     from one process on one host, so its host ratios are not subject
+//     to the cross-machine noise that keeps -gate-host off by default.
 package main
 
 import (
@@ -27,18 +42,30 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"regexp"
+	"sort"
+	"strconv"
 	"strings"
 
 	"vmprim/internal/bench"
 )
 
 func main() {
-	oldArg := flag.String("old", "", "baseline snapshot, file.json[:section] (required)")
-	newArg := flag.String("new", "", "candidate snapshot, file.json[:section] (required)")
+	oldArg := flag.String("old", "", "baseline snapshot, file.json[:section]")
+	newArg := flag.String("new", "", "candidate snapshot, file.json[:section]")
 	hostThreshold := flag.Float64("host-threshold", 0.20, "relative ns/op increase reported as a host regression (0.20 = +20%)")
 	gateSim := flag.Bool("gate-sim", true, "exit nonzero when simulated times differ (they are deterministic and must not)")
 	gateHost := flag.Bool("gate-host", false, "exit nonzero on host regressions too (off by default: host time is noisy in CI)")
+	eachNew := flag.Bool("each-new-section", false, "compare -old against every section of the -new file (for hostbench -sweep output)")
+	sweepArg := flag.String("sweep", "", "validate a sweep file's [prefix]gomaxprocs-N sections against each other instead of diffing -old/-new")
 	flag.Parse()
+
+	if *sweepArg != "" {
+		if !checkSweep(*sweepArg, *hostThreshold) {
+			os.Exit(1)
+		}
+		return
+	}
 	if *oldArg == "" || *newArg == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -48,12 +75,51 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	newRun, newName, err := loadRun(*newArg)
-	if err != nil {
-		fatal(err)
+
+	type candidate struct {
+		run  *bench.SnapshotRun
+		name string
+	}
+	var cands []candidate
+	if *eachNew {
+		f, err := bench.LoadSnapshotFile(*newArg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, name := range f.SectionNames() {
+			cands = append(cands, candidate{f.Sections[name], *newArg + ":" + name})
+		}
+		if len(cands) == 0 {
+			fatal(fmt.Errorf("%s: no sections", *newArg))
+		}
+	} else {
+		newRun, newName, err := loadRun(*newArg)
+		if err != nil {
+			fatal(err)
+		}
+		cands = append(cands, candidate{newRun, newName})
 	}
 
-	deltas := bench.CompareRuns(oldRun, newRun, *hostThreshold)
+	failed := false
+	for i, c := range cands {
+		if i > 0 {
+			fmt.Println()
+		}
+		if !diffRuns(oldRun, oldName, c.run, c.name, *hostThreshold, *gateSim, *gateHost) {
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: gate passed")
+}
+
+// diffRuns prints one old-vs-new comparison and reports whether it
+// passes the gates.
+func diffRuns(oldRun *bench.SnapshotRun, oldName string, newRun *bench.SnapshotRun, newName string,
+	hostThreshold float64, gateSim, gateHost bool) bool {
+	deltas := bench.CompareRuns(oldRun, newRun, hostThreshold)
 	fmt.Printf("benchdiff: %s  vs  %s\n", oldName, newName)
 	if oldRun.Dim != newRun.Dim || oldRun.N != newRun.N {
 		fmt.Printf("warning: configurations differ (d=%d n=%d vs d=%d n=%d); host ratios are not meaningful\n",
@@ -89,20 +155,127 @@ func main() {
 	if len(v.SimMismatches) > 0 {
 		fmt.Printf("\nsimulated time changed for: %s\n", strings.Join(v.SimMismatches, ", "))
 		fmt.Println("sim_us_per_op is deterministic; a change means the modelled machine behaves differently.")
-		failed = failed || *gateSim
+		failed = failed || gateSim
 	}
 	if len(v.Missing) > 0 {
 		fmt.Printf("\nbenchmarks on one side only: %s\n", strings.Join(v.Missing, ", "))
-		failed = failed || *gateSim
+		failed = failed || gateSim
 	}
 	if len(v.HostRegressions) > 0 {
-		fmt.Printf("\nhost regressions beyond %+.0f%%: %s\n", *hostThreshold*100, strings.Join(v.HostRegressions, ", "))
-		failed = failed || *gateHost
+		fmt.Printf("\nhost regressions beyond %+.0f%%: %s\n", hostThreshold*100, strings.Join(v.HostRegressions, ", "))
+		failed = failed || gateHost
 	}
-	if failed {
-		os.Exit(1)
+	return !failed
+}
+
+var sweepSection = regexp.MustCompile(`^(.*)gomaxprocs-(\d+)$`)
+
+// checkSweep validates a sweep file: within every [prefix]gomaxprocs-N
+// group, simulated times are bit-identical across all N and host ns/op
+// at the highest N stays within threshold of the lowest N. Reports
+// whether the file passes.
+func checkSweep(path string, threshold float64) bool {
+	f, err := bench.LoadSnapshotFile(path)
+	if err != nil {
+		fatal(err)
 	}
-	fmt.Println("\nbenchdiff: gate passed")
+	type point struct {
+		gmp  int
+		name string
+		run  *bench.SnapshotRun
+	}
+	groups := make(map[string][]point)
+	for name, run := range f.Sections {
+		m := sweepSection.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		gmp, _ := strconv.Atoi(m[2])
+		if run.GOMAXPROCS != 0 && run.GOMAXPROCS != gmp {
+			fmt.Printf("%s: section %s records gomaxprocs %d, name says %d\n", path, name, run.GOMAXPROCS, gmp)
+			return false
+		}
+		groups[m[1]] = append(groups[m[1]], point{gmp, name, run})
+	}
+	if len(groups) == 0 {
+		fatal(fmt.Errorf("%s: no [prefix]gomaxprocs-N sections", path))
+	}
+
+	prefixes := make([]string, 0, len(groups))
+	for p := range groups {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+
+	ok := true
+	for _, prefix := range prefixes {
+		pts := groups[prefix]
+		sort.Slice(pts, func(i, j int) bool { return pts[i].gmp < pts[j].gmp })
+		base := pts[0]
+		fmt.Printf("sweep %s[%s]: gomaxprocs", path, strings.TrimSuffix(prefix, "-"))
+		for _, pt := range pts {
+			fmt.Printf(" %d", pt.gmp)
+		}
+		fmt.Println()
+
+		// Sim drift: every setting against the lowest.
+		for _, pt := range pts[1:] {
+			for _, d := range bench.CompareRuns(base.run, pt.run, threshold) {
+				switch {
+				case d.Old == nil || d.New == nil:
+					fmt.Printf("  %s: benchmark %s missing in %s or %s\n", prefix, d.Name, base.name, pt.name)
+					ok = false
+				case d.SimChanged:
+					fmt.Printf("  %s/%s: sim_us_per_op differs at gomaxprocs %d vs %d (%.3f -> %.3f)\n",
+						prefix, d.Name, base.gmp, pt.gmp, d.Old.SimUsPerOp, d.New.SimUsPerOp)
+					ok = false
+				}
+			}
+		}
+
+		// Host slowdown: the gate compares GOMAXPROCS=NumCPU against the
+		// lowest setting — parallelism within the physical core count
+		// must never be a slowdown. Points beyond NumCPU oversubscribe
+		// the host and are reported but not gated (on a 1-core host the
+		// gate is vacuous and only the report remains).
+		gate := base
+		ncpu := 0
+		if f.Host != nil {
+			ncpu = f.Host.NumCPU
+		}
+		for _, pt := range pts {
+			if pt.gmp > gate.gmp && (ncpu == 0 || pt.gmp <= ncpu) {
+				gate = pt
+			}
+		}
+		for _, pt := range pts[1:] {
+			gated := pt.gmp == gate.gmp && gate.gmp != base.gmp
+			for _, d := range bench.CompareRuns(base.run, pt.run, threshold) {
+				if d.Old == nil || d.New == nil {
+					continue
+				}
+				marker := ""
+				if d.HostRegressed && gated {
+					marker = fmt.Sprintf("  << slower than gomaxprocs %d beyond %+.0f%%", base.gmp, threshold*100)
+					ok = false
+				}
+				ratio := "n/a"
+				if !math.IsNaN(d.HostRatio) {
+					ratio = fmt.Sprintf("%.2fx", 1/d.HostRatio)
+				}
+				note := ""
+				if !gated && pt.gmp > ncpu && ncpu > 0 {
+					note = "  (beyond num_cpu, not gated)"
+				}
+				fmt.Printf("  %-14s %10d ns/op @%d  %10d ns/op @%d  speedup %s%s%s\n",
+					d.Name, d.Old.NsPerOp, base.gmp, d.New.NsPerOp, pt.gmp, ratio, marker, note)
+			}
+		}
+	}
+	if ok {
+		fmt.Println("benchdiff: sweep gate passed")
+	}
+	return ok
 }
 
 // loadRun resolves a file.json[:section] argument.

@@ -14,6 +14,14 @@
 // host block plus a single "current" section), directly comparable
 // with the committed snapshots via cmd/benchdiff; without it the bare
 // section object is emitted, as earlier revisions did.
+//
+// With -sweep the same benchmarks run once per GOMAXPROCS setting
+// ("1,2,4,ncpu"; "ncpu" resolves to runtime.NumCPU, duplicates are
+// dropped) and each setting becomes its own section named
+// [prefix]gomaxprocs-N whose gomaxprocs field records the value
+// actually in effect — the schema BENCH_3.json is built from. The
+// simulated times must be bit-identical across the sweep; only the
+// host columns may move.
 package main
 
 import (
@@ -22,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -32,6 +42,29 @@ import (
 	"vmprim/internal/hypercube"
 )
 
+// prims are the measured bodies — the same primitive workloads as the
+// BenchmarkPrimitive* benchmarks at the repository root, so numbers
+// are comparable either way.
+var prims = []struct {
+	name string
+	body func(e *core.Env, a *core.Matrix)
+}{
+	{"ExtractRow", func(e *core.Env, a *core.Matrix) { e.ExtractRow(a, a.Rows/2, true) }},
+	{"InsertRow", func(e *core.Env, a *core.Matrix) {
+		v := e.ExtractRow(a, 0, false)
+		e.InsertRow(a, v, a.Rows/2)
+	}},
+	{"Distribute", func(e *core.Env, a *core.Matrix) {
+		v := e.ExtractRow(a, 0, false)
+		e.Distribute(v)
+	}},
+	{"ReduceRows", func(e *core.Env, a *core.Matrix) { e.ReduceRows(a, core.OpSum, true) }},
+	{"ReduceColLoc", func(e *core.Env, a *core.Matrix) {
+		e.ReduceColLoc(a, a.Cols/2, 0, a.Rows, core.LocMaxAbs)
+	}},
+	{"Transpose", func(e *core.Env, a *core.Matrix) { e.Transpose(a) }},
+}
+
 func main() {
 	dim := flag.Int("d", 8, "cube dimension (2^d processors)")
 	n := flag.Int("n", 512, "matrix order")
@@ -40,17 +73,17 @@ func main() {
 	label := flag.String("label", "", "free-form label recorded in the report")
 	prof := flag.Bool("profile", false, "run with the virtual-time profiler on and record sim bucket splits (also measures profiler host overhead)")
 	asFile := flag.Bool("json", false, "emit a full BENCH_*.json-schema document (host block + \"current\" section) instead of the bare section")
+	sweep := flag.String("sweep", "", "comma-separated GOMAXPROCS values to sweep (e.g. \"1,2,4,ncpu\"); one section per value, implies -json")
+	prefix := flag.String("section-prefix", "", "prefix for sweep section names (e.g. \"d8-\" gives d8-gomaxprocs-N)")
 	testing.Init()
 	flag.Parse()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
-		fmt.Fprintln(os.Stderr, "hostbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	m, err := hypercube.New(*dim, costmodel.CM2())
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hostbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer m.Close()
 	if *prof {
@@ -59,97 +92,60 @@ func main() {
 	g := embed.SplitFor(*dim, *n, *n)
 	a, err := core.FromDense(g, bench.RandMat(1, *n, *n), embed.Block, embed.Block)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hostbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
-	// The same primitive bodies as the BenchmarkPrimitive* benchmarks
-	// at the repository root, so numbers are comparable either way.
-	prims := []struct {
-		name string
-		body func(e *core.Env, a *core.Matrix)
-	}{
-		{"ExtractRow", func(e *core.Env, a *core.Matrix) { e.ExtractRow(a, a.Rows/2, true) }},
-		{"InsertRow", func(e *core.Env, a *core.Matrix) {
-			v := e.ExtractRow(a, 0, false)
-			e.InsertRow(a, v, a.Rows/2)
-		}},
-		{"Distribute", func(e *core.Env, a *core.Matrix) {
-			v := e.ExtractRow(a, 0, false)
-			e.Distribute(v)
-		}},
-		{"ReduceRows", func(e *core.Env, a *core.Matrix) { e.ReduceRows(a, core.OpSum, true) }},
-		{"ReduceColLoc", func(e *core.Env, a *core.Matrix) {
-			e.ReduceColLoc(a, a.Cols/2, 0, a.Rows, core.LocMaxAbs)
-		}},
-		{"Transpose", func(e *core.Env, a *core.Matrix) { e.Transpose(a) }},
+	section := func(gomaxprocs int) *bench.SnapshotRun {
+		run := &bench.SnapshotRun{
+			Label:      *label,
+			Dim:        *dim,
+			N:          *n,
+			Benchtime:  *benchtime,
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: gomaxprocs,
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		}
+		for _, pr := range prims {
+			run.Results = append(run.Results, measure(m, g, a, pr.name, pr.body, *prof))
+		}
+		return run
 	}
 
-	run := bench.SnapshotRun{
-		Label:      *label,
-		Dim:        *dim,
-		N:          *n,
-		Benchtime:  *benchtime,
+	host := &bench.HostInfo{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Timestamp:  time.Now().UTC().Format(time.RFC3339),
-	}
-	for _, pr := range prims {
-		body := pr.body
-		var sim costmodel.Time
-		br := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				elapsed, err := m.Run(func(p *hypercube.Proc) {
-					body(core.NewEnv(p, g), a)
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				sim = elapsed
-			}
-		})
-		r := bench.SnapshotResult{
-			Name:        pr.name,
-			NsPerOp:     br.NsPerOp(),
-			AllocsPerOp: br.AllocsPerOp(),
-			BytesPerOp:  br.AllocedBytesPerOp(),
-			SimUsPerOp:  float64(sim),
-			Iterations:  br.N,
-		}
-		if *prof {
-			if pf := m.Profile(); pf != nil {
-				inv := 1 / float64(pf.P)
-				b := pf.Root.Buckets
-				r.Sim = &bench.SimBuckets{
-					ComputeUs:  float64(b.Compute) * inv,
-					StartupUs:  float64(b.Startup) * inv,
-					TransferUs: float64(b.Transfer) * inv,
-					IdleUs:     float64(b.Idle) * inv,
-				}
-			}
-		}
-		fmt.Fprintf(os.Stderr, "%-14s %10d ns/op %8d allocs/op %10d B/op %12.1f sim-us/op\n",
-			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.SimUsPerOp)
-		run.Results = append(run.Results, r)
+		NumCPU:     runtime.NumCPU(),
 	}
 
-	var doc any = &run
-	if *asFile {
-		doc = &bench.SnapshotFile{
-			Host: &bench.HostInfo{
-				GOOS:       runtime.GOOS,
-				GOARCH:     runtime.GOARCH,
-				GoVersion:  runtime.Version(),
-				GOMAXPROCS: runtime.GOMAXPROCS(0),
-			},
-			Sections: map[string]*bench.SnapshotRun{"current": &run},
+	var doc any
+	if *sweep != "" {
+		points, err := parseSweep(*sweep)
+		if err != nil {
+			fatal(err)
+		}
+		prev := runtime.GOMAXPROCS(0)
+		sections := make(map[string]*bench.SnapshotRun, len(points))
+		for _, gmp := range points {
+			runtime.GOMAXPROCS(gmp)
+			fmt.Fprintf(os.Stderr, "--- gomaxprocs %d\n", gmp)
+			sections[fmt.Sprintf("%sgomaxprocs-%d", *prefix, gmp)] = section(gmp)
+		}
+		runtime.GOMAXPROCS(prev)
+		doc = &bench.SnapshotFile{Host: host, Sections: sections}
+	} else {
+		run := section(runtime.GOMAXPROCS(0))
+		if *asFile {
+			doc = &bench.SnapshotFile{Host: host, Sections: map[string]*bench.SnapshotRun{"current": run}}
+		} else {
+			doc = run
 		}
 	}
+
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "hostbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	buf = append(buf, '\n')
 	if *out == "" {
@@ -157,7 +153,83 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "hostbench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+}
+
+// measure runs one primitive benchmark on the machine and assembles its
+// snapshot row.
+func measure(m *hypercube.Machine, g embed.Grid, a *core.Matrix,
+	name string, body func(e *core.Env, a *core.Matrix), prof bool) bench.SnapshotResult {
+	var sim costmodel.Time
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			elapsed, err := m.Run(func(p *hypercube.Proc) {
+				body(core.NewEnv(p, g), a)
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sim = elapsed
+		}
+	})
+	r := bench.SnapshotResult{
+		Name:        name,
+		NsPerOp:     br.NsPerOp(),
+		AllocsPerOp: br.AllocsPerOp(),
+		BytesPerOp:  br.AllocedBytesPerOp(),
+		SimUsPerOp:  float64(sim),
+		Iterations:  br.N,
+	}
+	if prof {
+		if pf := m.Profile(); pf != nil {
+			inv := 1 / float64(pf.P)
+			b := pf.Root.Buckets
+			r.Sim = &bench.SimBuckets{
+				ComputeUs:  float64(b.Compute) * inv,
+				StartupUs:  float64(b.Startup) * inv,
+				TransferUs: float64(b.Transfer) * inv,
+				IdleUs:     float64(b.Idle) * inv,
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "%-14s %10d ns/op %8d allocs/op %10d B/op %12.1f sim-us/op\n",
+		r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp, r.SimUsPerOp)
+	return r
+}
+
+// parseSweep resolves a "1,2,4,ncpu" sweep spec into distinct
+// GOMAXPROCS values in the order first seen ("ncpu" =
+// runtime.NumCPU(), so on small hosts it may collapse into an earlier
+// point).
+func parseSweep(spec string) ([]int, error) {
+	var points []int
+	seen := make(map[int]bool)
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		v := 0
+		if strings.EqualFold(field, "ncpu") {
+			v = runtime.NumCPU()
+		} else {
+			n, err := strconv.Atoi(field)
+			if err != nil || n < 1 {
+				return nil, fmt.Errorf("bad -sweep value %q (want a positive integer or \"ncpu\")", field)
+			}
+			v = n
+		}
+		if !seen[v] {
+			seen[v] = true
+			points = append(points, v)
+		}
+	}
+	if len(points) == 0 {
+		return nil, fmt.Errorf("empty -sweep spec")
+	}
+	return points, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hostbench:", err)
+	os.Exit(1)
 }

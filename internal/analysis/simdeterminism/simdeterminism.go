@@ -19,11 +19,26 @@
 //     collective, or opens spans: map order varies per execution, so
 //     message order, floating-point reduction order, and the
 //     SPMD span-discovery order would too.
+//
+// Host-parallel execution adds two failure modes, also checked here:
+//
+//   - runtime.Gosched — a host-scheduler yield inside the simulation
+//     layer means the code is timing itself against the host
+//     interleaving, which GOMAXPROCS changes; correct SPMD code
+//     synchronizes only through sends, receives and collectives;
+//   - unsynchronized writes to captured variables from SPMD bodies —
+//     with workers running host-parallel between communication points,
+//     every processor executes the body concurrently, so a plain
+//     assignment to a variable declared outside the body is a data
+//     race unless it is guarded by a processor-identity check
+//     (if p.ID() == 0 { ... }) or indexed per processor
+//     (out[p.ID()] = ...).
 package simdeterminism
 
 import (
 	"fmt"
 	"go/ast"
+	"go/token"
 	"go/types"
 
 	"vmprim/internal/analysis/framework"
@@ -67,6 +82,7 @@ func run(pass *framework.Pass) (any, error) {
 			}
 			return true
 		})
+		checkSPMDBodies(pass, file)
 	}
 	return nil, nil
 }
@@ -86,6 +102,11 @@ func checkCall(pass *framework.Pass, call *ast.CallExpr) {
 			pass.Reportf(call.Pos(),
 				"time.%s reads the wall clock; simulated times must depend only on the cost model",
 				f.Name())
+		}
+	case "runtime":
+		if f.Name() == "Gosched" {
+			pass.Reportf(call.Pos(),
+				"runtime.Gosched yields to the host scheduler; SPMD code must synchronize only through sends, receives and collectives, never host interleaving")
 		}
 	case "math/rand", "math/rand/v2":
 		if !randConstructors[f.Name()] {
@@ -172,4 +193,153 @@ func checkMapRange(pass *framework.Pass, rng *ast.RangeStmt) {
 			"map iteration order is nondeterministic and this loop feeds %s; iterate over sorted keys instead",
 			name)
 	}
+}
+
+// checkSPMDBodies finds the SPMD entry points of a file — function
+// literals and declarations with a *hypercube.Proc or *core.Env
+// parameter — and audits each for unsynchronized writes to shared
+// state. Literals nested inside an already-audited SPMD body are
+// covered by the enclosing audit (their captured-variable test runs
+// against the outermost body's scope) and are not audited twice.
+func checkSPMDBodies(pass *framework.Pass, file *ast.File) {
+	var bodies []*ast.FuncLit // outermost SPMD literals, in order
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok || !isSPMDFunc(pass, lit.Type) {
+			return true
+		}
+		for _, b := range bodies {
+			if lit.Pos() >= b.Pos() && lit.End() <= b.End() {
+				return true // nested inside an audited body
+			}
+		}
+		bodies = append(bodies, lit)
+		return true
+	})
+	for _, lit := range bodies {
+		checkSharedWrites(pass, lit.Body, lit.Pos(), lit.End())
+	}
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil || !isSPMDFunc(pass, fd.Type) {
+			continue
+		}
+		checkSharedWrites(pass, fd.Body, fd.Pos(), fd.End())
+	}
+}
+
+// isSPMDFunc reports whether the signature marks an SPMD body: a
+// parameter of type *hypercube.Proc or *core.Env.
+func isSPMDFunc(pass *framework.Pass, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		tv, ok := pass.TypesInfo.Types[field.Type]
+		if !ok {
+			continue
+		}
+		ptr, ok := tv.Type.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := ptr.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			continue
+		}
+		switch {
+		case obj.Name() == "Proc" && obj.Pkg().Path() == vmlib.HypercubePath,
+			obj.Name() == "Env" && obj.Pkg().Path() == vmlib.CorePath:
+			return true
+		}
+	}
+	return false
+}
+
+// checkSharedWrites flags plain assignments and increments to
+// variables declared outside [bodyStart, bodyEnd] — state every
+// processor's goroutine would write concurrently under host-parallel
+// execution. Writes inside an if whose condition reads processor
+// identity (p.ID(), e.GridRow/GridCol) are the sanctioned
+// one-writer idiom and pass; so do indexed writes (out[p.ID()] = ...),
+// whose element is per-processor by convention and whose aliasing the
+// race detector, not a linter, must judge.
+func checkSharedWrites(pass *framework.Pass, body *ast.BlockStmt, bodyStart, bodyEnd token.Pos) {
+	// Collect the guarded regions: bodies (and else branches — both
+	// sides of an identity branch execute on disjoint processor sets)
+	// of ifs conditioned on processor identity.
+	var guarded [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !readsIdentity(pass, ifs.Cond) {
+			return true
+		}
+		guarded = append(guarded, [2]token.Pos{ifs.Body.Pos(), ifs.Body.End()})
+		if ifs.Else != nil {
+			guarded = append(guarded, [2]token.Pos{ifs.Else.Pos(), ifs.Else.End()})
+		}
+		return true
+	})
+	isGuarded := func(pos token.Pos) bool {
+		for _, g := range guarded {
+			if pos >= g[0] && pos <= g[1] {
+				return true
+			}
+		}
+		return false
+	}
+	flag := func(id *ast.Ident) {
+		if id.Name == "_" || isGuarded(id.Pos()) {
+			return
+		}
+		obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return
+		}
+		if obj.Pos() >= bodyStart && obj.Pos() <= bodyEnd {
+			return // declared inside the SPMD body: per-processor state
+		}
+		pass.Reportf(id.Pos(),
+			"write to %s, captured from outside the SPMD body, races across processors under host-parallel execution; index it by p.ID() or guard the write with a processor-identity check",
+			id.Name)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range st.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					flag(id)
+				}
+			}
+		case *ast.IncDecStmt:
+			if id, ok := st.X.(*ast.Ident); ok {
+				flag(id)
+			}
+		}
+		return true
+	})
+}
+
+// readsIdentity reports whether expr contains a direct processor-
+// identity read.
+func readsIdentity(pass *framework.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && vmlib.IsIdentityRead(pass.TypesInfo, call) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
 }

@@ -4,6 +4,7 @@ package det
 
 import (
 	"math/rand"
+	"runtime"
 	"time"
 
 	"vmprim/internal/hypercube"
@@ -57,4 +58,69 @@ func mapOrderLocal(counts map[int]int) int {
 		total += n
 	}
 	return total
+}
+
+// hostYield times itself against the host scheduler.
+func hostYield(p *hypercube.Proc) {
+	runtime.Gosched() // want `runtime\.Gosched yields to the host scheduler`
+	p.Compute(1)
+}
+
+// sharedWriteUnguarded races: every processor's goroutine assigns the
+// captured variable concurrently under host-parallel execution.
+func sharedWriteUnguarded(m *hypercube.Machine) (float64, int64) {
+	var last float64
+	var hits int64
+	m.Run(func(p *hypercube.Proc) {
+		v := p.Exchange(0, 1, []float64{float64(p.ID())})
+		last = v[0] // want `write to last, captured from outside the SPMD body, races across processors`
+		hits++      // want `write to hits, captured from outside the SPMD body, races across processors`
+	})
+	return last, hits
+}
+
+// sharedWriteGuarded uses the sanctioned one-writer idiom: only the
+// root processor assigns.
+func sharedWriteGuarded(m *hypercube.Machine) float64 {
+	var root float64
+	m.Run(func(p *hypercube.Proc) {
+		v := p.Exchange(0, 1, []float64{float64(p.ID())})
+		if p.ID() == 0 {
+			root = v[0]
+		}
+	})
+	return root
+}
+
+// sharedWriteIndexed writes a per-processor slot: each goroutine owns
+// its own element.
+func sharedWriteIndexed(m *hypercube.Machine) []float64 {
+	out := make([]float64, 2)
+	m.Run(func(p *hypercube.Proc) {
+		v := p.Exchange(0, 1, []float64{float64(p.ID())})
+		out[p.ID()] = v[0]
+	})
+	return out
+}
+
+// localWrites assign variables declared inside the SPMD body — one per
+// processor, no sharing — including from a nested closure.
+func localWrites(m *hypercube.Machine) {
+	m.Run(func(p *hypercube.Proc) {
+		sum := 0.0
+		add := func(v float64) { sum += v }
+		for i := 0; i < 4; i++ {
+			add(float64(i))
+		}
+		p.Compute(int(sum))
+	})
+}
+
+// kernelSharedWrite is a named SPMD kernel (first parameter *Proc)
+// writing package state: the same race as the literal form.
+var kernelCalls int64
+
+func kernelSharedWrite(p *hypercube.Proc) {
+	kernelCalls++ // want `write to kernelCalls, captured from outside the SPMD body, races across processors`
+	p.Compute(1)
 }

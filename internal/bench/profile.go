@@ -37,6 +37,13 @@ type ProfileResult struct {
 	// the workload, in execution order. These are bit-identical with
 	// profiling on or off.
 	Times []costmodel.Time
+	// Clocks holds every processor's final virtual clock after the last
+	// run, and Links the nonzero directed-link word loads of that run,
+	// hottest first. Like Times they are deterministic: bit-identical
+	// across profiling settings and across GOMAXPROCS values, which the
+	// determinism stress tests assert.
+	Clocks []costmodel.Time
+	Links  []obs.LinkLoad
 	// Profile is the profile of the last run, or nil when enable was
 	// false.
 	Profile *obs.Profile
@@ -88,7 +95,12 @@ func newProfiledMachine(d int, enable bool) (*hypercube.Machine, error) {
 // finish assembles the result, pulling the machine's profile of the
 // most recent run when enabled.
 func finish(id, desc string, m *hypercube.Machine, enable bool, times ...costmodel.Time) *ProfileResult {
-	res := &ProfileResult{ID: id, Desc: desc, Times: times, Metrics: m.Metrics().Snapshot()}
+	res := &ProfileResult{
+		ID: id, Desc: desc, Times: times,
+		Clocks:  m.Clocks(),
+		Links:   m.Congestion(0),
+		Metrics: m.Metrics().Snapshot(),
+	}
 	if enable {
 		res.Profile = m.Profile()
 	}

@@ -46,6 +46,10 @@ type SnapshotResult struct {
 }
 
 // SnapshotRun is one measured revision: a labelled set of results.
+// GOMAXPROCS records the value actually in effect while this section's
+// benchmarks ran (a GOMAXPROCS sweep writes one section per setting),
+// so every row is self-describing even when it differs from the host
+// block's process-global value.
 type SnapshotRun struct {
 	Label      string           `json:"label,omitempty"`
 	Dim        int              `json:"dim"`
@@ -57,13 +61,17 @@ type SnapshotRun struct {
 	Results    []SnapshotResult `json:"results"`
 }
 
-// HostInfo describes the measuring host.
+// HostInfo describes the measuring host. GOMAXPROCS here is the
+// process-global value at startup; sweep sections override it per
+// measurement in SnapshotRun.GOMAXPROCS, which is authoritative for
+// the rows it labels.
 type HostInfo struct {
 	CPU        string `json:"cpu,omitempty"`
 	GOOS       string `json:"goos,omitempty"`
 	GOARCH     string `json:"goarch,omitempty"`
 	GoVersion  string `json:"go_version,omitempty"`
 	GOMAXPROCS int    `json:"gomaxprocs,omitempty"`
+	NumCPU     int    `json:"num_cpu,omitempty"`
 }
 
 // SnapshotFile is one BENCH_*.json document: fixed header fields plus

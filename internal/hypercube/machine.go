@@ -20,6 +20,29 @@
 // all d links concurrently) is available through the cost model for
 // the A1 ablation; ExchangeAll charges the maximum rather than the sum
 // of the per-dimension costs under that model.
+//
+// # Host parallelism
+//
+// The 2^d processor goroutines execute host-parallel: between
+// communication points a processor's body runs freely on whatever
+// host core the Go scheduler gives it, and it parks only at the
+// virtual-time frontier — a Recv whose message has not been posted
+// yet, or a Send against a full link buffer (run-ahead backpressure,
+// see linkCap). Simulated results are bit-identical at every
+// GOMAXPROCS value because nothing in the simulation depends on host
+// interleaving: every directed link is a single-producer
+// single-consumer FIFO (the only sender along (dst, d) is dst's
+// dimension-d neighbor), receives are addressed by (link, program
+// order) rather than by time, virtual arrival times travel inside the
+// messages, and all remaining hot-path state (clock, counters, trace,
+// span recorder, flight ring, buffer pool) is owned by exactly one
+// goroutine. Cross-goroutine handoffs — payload buffers inside
+// messages, per-run setup and the post-run fold — synchronize through
+// the link channels, the work channels and rc.wg, which provide the
+// happens-before edges. The only concurrency-shaped machine state is
+// the host-scheduler instrumentation (SchedStats), which uses atomics
+// on the park slow paths and is explicitly excluded from every
+// determinism guarantee.
 package hypercube
 
 import (
@@ -107,9 +130,18 @@ type Machine struct {
 	mu         sync.Mutex
 	elapsed    costmodel.Time
 	stats      Stats
+	sched      SchedStats
 	clocks     []costmodel.Time
 	traceLimit int
 	trace      []TraceEvent
+
+	// Host-scheduler gauges, touched only on the park slow paths:
+	// parked counts processor goroutines currently blocked at the
+	// virtual-time frontier, maxParked its per-run high-water mark.
+	// These are the one piece of machine state written concurrently by
+	// the workers; they feed SchedStats and never the simulation.
+	parked    atomic.Int32
+	maxParked atomic.Int32
 
 	// Profiling state (see profile.go): profEnabled gates the span
 	// machinery for the next Run, profile holds the last profiled
@@ -136,12 +168,17 @@ type engine struct {
 	stop chan struct{}
 }
 
-// runCtx carries one Run invocation to the workers.
+// runCtx carries one Run invocation to the workers, including the
+// per-run configuration each worker needs to reset its own Proc
+// (resetForRun executes on the worker goroutine, so the reset work
+// parallelizes across host cores and every Proc field stays
+// single-writer).
 type runCtx struct {
 	body  func(*Proc)
 	procs []*Proc
 	abort chan struct{}
 	errs  chan procError
+	prof  bool
 
 	wg        sync.WaitGroup
 	abortOnce sync.Once
@@ -176,6 +213,56 @@ func (s *Stats) Add(other Stats) {
 	s.Words += other.Words
 	s.Flops += other.Flops
 }
+
+// SchedStats describes the host-side scheduling of one Run: how often
+// processor goroutines parked at the virtual-time frontier and how
+// far host parallelism was throttled. Unlike every simulated quantity
+// these counters are NOT deterministic — they depend on GOMAXPROCS,
+// host load and goroutine interleaving — so they are diagnostics
+// only, excluded from profiles' JSON/Chrome exports and from the
+// bit-identity guarantees. A high RecvParks/Messages ratio means the
+// workload synchronizes at nearly every message (little run-ahead to
+// overlap); SendStalls > 0 means linkCap backpressure bounded a fast
+// processor's run-ahead.
+type SchedStats struct {
+	// RecvParks counts receives that found the link empty and parked
+	// the goroutine until the message was posted (frontier waits).
+	RecvParks int64
+	// SendStalls counts sends that found the link buffer full and
+	// parked until the receiver drained it (run-ahead backpressure).
+	SendStalls int64
+	// Wakeups counts parks resumed by link traffic (as opposed to
+	// aborts); RecvParks + SendStalls - Wakeups parks died with the run.
+	Wakeups int64
+	// MaxParked is the high-water mark of concurrently parked
+	// processor goroutines over the run.
+	MaxParked int
+}
+
+// Add accumulates other into s.
+func (s *SchedStats) Add(other SchedStats) {
+	s.RecvParks += other.RecvParks
+	s.SendStalls += other.SendStalls
+	s.Wakeups += other.Wakeups
+	if other.MaxParked > s.MaxParked {
+		s.MaxParked = other.MaxParked
+	}
+}
+
+// parkEnter registers a processor goroutine blocking at the frontier;
+// parkExit undoes it. Both run only on the slow (already-blocking)
+// paths, so the atomics never tax a run that keeps its links warm.
+func (m *Machine) parkEnter() {
+	n := m.parked.Add(1)
+	for {
+		max := m.maxParked.Load()
+		if n <= max || m.maxParked.CompareAndSwap(max, n) {
+			return
+		}
+	}
+}
+
+func (m *Machine) parkExit() { m.parked.Add(-1) }
 
 // New returns a machine of dimension dim (2^dim processors) governed
 // by the given cost parameters. It returns an error if dim is negative
@@ -264,6 +351,17 @@ func (m *Machine) LastStats() Stats {
 	return m.stats
 }
 
+// SchedStats returns the host-scheduler instrumentation of the most
+// recent Run: frontier parks, backpressure stalls, wakeups and the
+// parked-goroutine high-water mark. These describe the host
+// execution, vary with GOMAXPROCS, and are NOT covered by the
+// simulator's determinism guarantees.
+func (m *Machine) SchedStats() SchedStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sched
+}
+
 // Clocks returns every processor's final virtual clock from the most
 // recent Run, indexed by processor address. The spread between the
 // minimum and maximum is the run's load imbalance.
@@ -295,36 +393,14 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 		abort: make(chan struct{}),
 		errs:  make(chan procError, m.p),
 	}
+	rc.prof = m.profEnabled
 	rc.wg.Add(m.p)
 	for pid := 0; pid < m.p; pid++ {
-		pr := m.procs[pid]
-		pr.clock = 0
-		pr.nMsgs, pr.nWords, pr.nFlops = 0, 0, 0
-		pr.tComp, pr.tStart, pr.tXfer = 0, 0, 0
-		for d := range pr.linkWords {
-			pr.linkWords[d] = 0
-		}
-		pr.prof = m.profEnabled
-		if pr.prof || len(pr.ps.nodes) > 0 {
-			pr.ps.reset()
-		}
-		pr.nColl, pr.nArms, pr.nRearms = 0, 0, 0
-		pr.pool.gets, pr.pool.hits = 0, 0
-		pr.msgHist = [msgHistBins]int64{}
-		pr.rec.Reset()
-		pr.waitKind = flightrec.WaitNone
-		for i := range pr.captured {
-			pr.captured[i] = nil
-		}
-		pr.captured = pr.captured[:0]
-		pr.abort = rc.abort
-		pr.trace = pr.trace[:0]
-		if pr.timerArmed {
-			// Disarm the watchdog between runs so a timeout changed via
-			// SetRecvTimeout takes effect at the next arming.
-			pr.timer.Stop()
-			pr.timerArmed = false
-		}
+		// The per-run Proc reset happens on the worker goroutine
+		// (resetForRun, called from runBody): the O(p*dim) reset work
+		// parallelizes across host cores, and every Proc field is
+		// written only by its owning goroutine. From here until
+		// rc.wg.Wait returns, this goroutine must not touch any Proc.
 		m.eng.work[pid] <- rc
 	}
 	rc.wg.Wait()
@@ -352,6 +428,15 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 
 	var elapsed costmodel.Time
 	var st Stats
+	var sch SchedStats
+	for _, pr := range m.procs {
+		sch.RecvParks += pr.nRecvParks
+		sch.SendStalls += pr.nSendStalls
+		sch.Wakeups += pr.nWakeups
+	}
+	sch.MaxParked = int(m.maxParked.Load())
+	m.parked.Store(0)
+	m.maxParked.Store(0)
 	m.mu.Lock()
 	for i, pr := range m.procs {
 		m.clocks[i] = pr.clock
@@ -364,6 +449,7 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 	}
 	m.elapsed = elapsed
 	m.stats = st
+	m.sched = sch
 	m.vols = nil // link counters changed; LinkVolumes rebuilds lazily
 	m.mu.Unlock()
 	m.collectTrace(m.procs)
@@ -386,7 +472,7 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 	m.postmortem = pm
 	m.mu.Unlock()
 
-	m.updateMetrics(elapsed, firstErr != nil)
+	m.updateMetrics(elapsed, sch, firstErr != nil)
 	m.drain()
 	return elapsed, firstErr
 }
@@ -432,8 +518,46 @@ func runBody(pid int, rc *runCtx) {
 			rc.abortOnce.Do(func() { close(rc.abort) })
 		}
 	}()
-	rc.body(rc.procs[pid])
-	rc.procs[pid].checkSpansClosed()
+	pr := rc.procs[pid]
+	pr.resetForRun(rc)
+	rc.body(pr)
+	pr.checkSpansClosed()
+}
+
+// resetForRun clears the processor's per-run state. It runs on the
+// processor's own worker goroutine, never the Run caller's, so every
+// hot-path Proc field keeps a single writer; the work-channel handoff
+// orders it after Run's bookkeeping and before the SPMD body, and
+// rc.wg orders the previous run's reads before it.
+func (p *Proc) resetForRun(rc *runCtx) {
+	p.clock = 0
+	p.nMsgs, p.nWords, p.nFlops = 0, 0, 0
+	p.tComp, p.tStart, p.tXfer = 0, 0, 0
+	for d := range p.linkWords {
+		p.linkWords[d] = 0
+	}
+	p.prof = rc.prof
+	if p.prof || len(p.ps.nodes) > 0 {
+		p.ps.reset()
+	}
+	p.nColl, p.nArms, p.nRearms = 0, 0, 0
+	p.nRecvParks, p.nSendStalls, p.nWakeups = 0, 0, 0
+	p.pool.gets, p.pool.hits = 0, 0
+	p.msgHist = [msgHistBins]int64{}
+	p.rec.Reset()
+	p.waitKind = flightrec.WaitNone
+	for i := range p.captured {
+		p.captured[i] = nil
+	}
+	p.captured = p.captured[:0]
+	p.abort = rc.abort
+	p.trace = p.trace[:0]
+	if p.timerArmed {
+		// Disarm the watchdog between runs so a timeout changed via
+		// SetRecvTimeout takes effect at the next arming.
+		p.timer.Stop()
+		p.timerArmed = false
+	}
 }
 
 // Close shuts down the persistent worker goroutines. It is optional —
@@ -535,6 +659,13 @@ type Proc struct {
 	nRearms int64
 	msgHist [msgHistBins]int64
 
+	// Host-scheduler counters (see SchedStats): parks taken at the
+	// virtual-time frontier and their resumptions. Bumped only on the
+	// blocking slow paths; host-nondeterministic by nature.
+	nRecvParks  int64
+	nSendStalls int64
+	nWakeups    int64
+
 	// Deadlock watchdog state. The timer is armed at most once per
 	// timeout window (not per blocking Recv): recvSeq counts delivered
 	// messages and timerSeq records its value at arming, so a fire with
@@ -634,15 +765,21 @@ func (p *Proc) post(d, tag int, words []float64, arrive costmodel.Time) {
 	select {
 	case ch <- msg:
 	default:
-		// Link buffer full: note the blocked send in the wait registers
-		// so a post-mortem can name it, then park.
+		// Link buffer full: run-ahead backpressure. Note the blocked
+		// send in the wait registers so a post-mortem can name it,
+		// count the stall for SchedStats, then park.
 		p.waitKind = flightrec.WaitSend
 		p.waitDim, p.waitTag = d, tag
 		p.waitSince = arrive
+		p.nSendStalls++
+		p.m.parkEnter()
 		select {
 		case ch <- msg:
+			p.m.parkExit()
+			p.nWakeups++
 			p.waitKind = flightrec.WaitNone
 		case <-p.abort:
+			p.m.parkExit()
 			panic(abortedError{})
 		}
 	}
@@ -719,6 +856,8 @@ func (p *Proc) Recv(d, wantTag int) []float64 {
 		p.waitKind = flightrec.WaitRecv
 		p.waitDim, p.waitTag = d, wantTag
 		p.waitSince = p.clock
+		p.nRecvParks++
+		p.m.parkEnter()
 		for {
 			if !p.timerArmed {
 				if p.timer == nil {
@@ -734,10 +873,12 @@ func (p *Proc) Recv(d, wantTag int) []float64 {
 			select {
 			case msg = <-ch:
 			case <-p.abort:
+				p.m.parkExit()
 				panic(abortedError{})
 			case <-p.timer.C:
 				p.timerArmed = false
 				if p.recvSeq == p.timerSeq {
+					p.m.parkExit()
 					panic(fmt.Sprintf("recv timeout on dim %d (tag %d): deadlock", d, wantTag))
 				}
 				p.nRearms++
@@ -747,6 +888,8 @@ func (p *Proc) Recv(d, wantTag int) []float64 {
 				break
 			}
 		}
+		p.m.parkExit()
+		p.nWakeups++
 		p.waitKind = flightrec.WaitNone
 	}
 	p.recvSeq++

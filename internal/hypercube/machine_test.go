@@ -481,3 +481,84 @@ func TestTraceDisabledByDefault(t *testing.T) {
 		t.Fatal("trace recorded while disabled")
 	}
 }
+
+// SchedStats is host-nondeterministic by design, so these tests assert
+// its structural invariants — accounting identities, bounds, per-run
+// reset, and the metrics fold — never specific counts.
+
+func TestSchedStatsInvariants(t *testing.T) {
+	m := MustNew(3, costmodel.CM2())
+	defer m.Close()
+	if _, err := m.Run(func(p *Proc) {
+		buf := []float64{1, 2, 3, 4}
+		for round := 0; round < 50; round++ {
+			for d := 0; d < 3; d++ {
+				buf = p.Exchange(d, round, buf)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := m.SchedStats()
+	if s.RecvParks < 0 || s.SendStalls < 0 || s.Wakeups < 0 {
+		t.Fatalf("negative sched counters: %+v", s)
+	}
+	if s.MaxParked < 0 || s.MaxParked > m.P() {
+		t.Fatalf("max parked %d out of range [0,%d]", s.MaxParked, m.P())
+	}
+	// Every wakeup resumes exactly one completed park; aborted parks
+	// don't count, so completions never exceed park entries.
+	if s.Wakeups > s.RecvParks+s.SendStalls {
+		t.Fatalf("wakeups %d exceed parks %d + stalls %d", s.Wakeups, s.RecvParks, s.SendStalls)
+	}
+
+	// A communication-free run parks nobody: SchedStats describes the
+	// most recent run only, deterministically zero here.
+	if _, err := m.Run(func(p *Proc) { p.Compute(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SchedStats(); got != (SchedStats{}) {
+		t.Fatalf("sched stats not reset by a communication-free run: %+v", got)
+	}
+}
+
+func TestSchedStatsAdd(t *testing.T) {
+	a := SchedStats{RecvParks: 1, SendStalls: 2, Wakeups: 3, MaxParked: 4}
+	a.Add(SchedStats{RecvParks: 10, SendStalls: 20, Wakeups: 30, MaxParked: 2})
+	want := SchedStats{RecvParks: 11, SendStalls: 22, Wakeups: 33, MaxParked: 4}
+	if a != want {
+		t.Fatalf("got %+v, want %+v", a, want)
+	}
+}
+
+func TestSchedMetricsFold(t *testing.T) {
+	m := MustNew(2, costmodel.CM2())
+	defer m.Close()
+	if _, err := m.Run(func(p *Proc) {
+		for round := 0; round < 20; round++ {
+			p.Exchange(round%2, round, []float64{float64(round)})
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := m.SchedStats()
+	snap := m.Metrics().Snapshot()
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{"vmprim_sched_recv_parks_total", float64(s.RecvParks)},
+		{"vmprim_sched_send_stalls_total", float64(s.SendStalls)},
+		{"vmprim_sched_wakeups_total", float64(s.Wakeups)},
+		{"vmprim_sched_max_parked_procs", float64(s.MaxParked)},
+	}
+	for _, c := range checks {
+		got, ok := snap.Value(c.name)
+		if !ok {
+			t.Fatalf("metric %s not registered", c.name)
+		}
+		if got != c.want {
+			t.Errorf("metric %s = %v, want %v (single run on a fresh machine)", c.name, got, c.want)
+		}
+	}
+}

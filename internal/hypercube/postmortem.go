@@ -174,9 +174,30 @@ type machMetrics struct {
 	colls                    *metrics.Counter
 	poolGets, poolHits       *metrics.Counter
 	wdArms, wdRearms         *metrics.Counter
+	recvParks, sendStalls    *metrics.Counter
+	wakeups                  *metrics.Counter
 	lastElapsed, poolHitRate *metrics.Gauge
+	maxParked                *metrics.Gauge
 	msgWords                 *metrics.Histogram
 }
+
+// schedMetricNames lists the registry entries fed by the host
+// scheduler (plus the watchdog counters, which share its host-timing
+// dependence). They describe host execution, not the simulated
+// machine, so they are exempt from the bit-identical-across-GOMAXPROCS
+// guarantee; the determinism stress tests exclude exactly this set.
+var schedMetricNames = map[string]bool{
+	"vmprim_sched_recv_parks_total":  true,
+	"vmprim_sched_send_stalls_total": true,
+	"vmprim_sched_wakeups_total":     true,
+	"vmprim_sched_max_parked_procs":  true,
+	"vmprim_watchdog_arms_total":     true,
+	"vmprim_watchdog_rearms_total":   true,
+}
+
+// HostSchedMetricNames reports whether name is one of the
+// host-scheduling metrics exempt from determinism comparisons.
+func HostSchedMetricNames(name string) bool { return schedMetricNames[name] }
 
 func newMachMetrics() machMetrics {
 	reg := metrics.NewRegistry()
@@ -192,8 +213,12 @@ func newMachMetrics() machMetrics {
 		poolHits:    reg.Counter("vmprim_pool_hits_total", "buffer-pool gets served from a free list"),
 		wdArms:      reg.Counter("vmprim_watchdog_arms_total", "deadlock-watchdog timer arms"),
 		wdRearms:    reg.Counter("vmprim_watchdog_rearms_total", "watchdog fires that found progress and re-armed"),
+		recvParks:   reg.Counter("vmprim_sched_recv_parks_total", "host goroutine parks waiting at the virtual-time frontier for a message (host-nondeterministic)"),
+		sendStalls:  reg.Counter("vmprim_sched_send_stalls_total", "host goroutine parks on a full link buffer, run-ahead backpressure (host-nondeterministic)"),
+		wakeups:     reg.Counter("vmprim_sched_wakeups_total", "frontier parks resumed by link traffic (host-nondeterministic)"),
 		lastElapsed: reg.Gauge("vmprim_last_elapsed_us", "simulated time of the most recent run"),
 		poolHitRate: reg.Gauge("vmprim_pool_hit_rate", "fraction of pool gets served from a free list in the most recent run"),
+		maxParked:   reg.Gauge("vmprim_sched_max_parked_procs", "high-water mark of concurrently parked processor goroutines in the most recent run (host-nondeterministic)"),
 		msgWords:    reg.Histogram("vmprim_message_words", "payload size of link messages in 64-bit words", msgWordBounds),
 	}
 }
@@ -205,12 +230,16 @@ func (m *Machine) Metrics() *metrics.Registry { return m.met.reg }
 // updateMetrics folds the per-processor counters of the run that just
 // ended into the registry. Called once per Run, after the workers have
 // quiesced.
-func (m *Machine) updateMetrics(elapsed costmodel.Time, failed bool) {
+func (m *Machine) updateMetrics(elapsed costmodel.Time, sch SchedStats, failed bool) {
 	mm := &m.met
 	mm.runs.Add(1)
 	if failed {
 		mm.failures.Add(1)
 	}
+	mm.recvParks.Add(sch.RecvParks)
+	mm.sendStalls.Add(sch.SendStalls)
+	mm.wakeups.Add(sch.Wakeups)
+	mm.maxParked.Set(float64(sch.MaxParked))
 	var msgs, words, flops, colls, gets, hits, arms, rearms int64
 	var hist [msgHistBins]int64
 	for _, pr := range m.procs {

@@ -2,6 +2,7 @@ package hypercube
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -254,7 +255,15 @@ func (m *Machine) buildProfile() *obs.Profile {
 			Time: ev.Time, Src: ev.Src, Dst: ev.Dst, Dim: ev.Dim, Words: ev.Words, Tag: ev.Tag,
 		})
 	}
-	return obs.Build(m.dim, procs, events, m.linkLoads(0))
+	pf := obs.Build(m.dim, procs, events, m.linkLoads(0))
+	pf.Sched = &obs.HostSched{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		RecvParks:  m.sched.RecvParks,
+		SendStalls: m.sched.SendStalls,
+		Wakeups:    m.sched.Wakeups,
+		MaxParked:  m.sched.MaxParked,
+	}
+	return pf
 }
 
 // linkLoads lists the nonzero directed-link word counts of the most

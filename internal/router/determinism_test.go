@@ -1,0 +1,65 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"vmprim/internal/costmodel"
+	"vmprim/internal/hypercube"
+)
+
+// Host-parallel determinism for the router: dimension-order routing
+// sorts and forwards by (Key, program order) at every hop, so the
+// delivered message order, the simulated clocks and the link loads
+// must be identical at every GOMAXPROCS — the stress here is a random
+// permutation plus an all-to-one hotspot, the two traffic patterns
+// with the most forwarding contention.
+func routerWorkload(t *testing.T) (clocks, links, delivered string) {
+	t.Helper()
+	m := hypercube.MustNew(5, costmodel.CM2())
+	defer m.Close()
+	rng := rand.New(rand.NewSource(42))
+	perm := rng.Perm(m.P())
+	received := make([][]Msg, m.P())
+	_, err := m.Run(func(p *hypercube.Proc) {
+		out := []Msg{
+			{Dst: perm[p.ID()], Key: p.ID(), Words: []float64{1, 2, 3}},
+			{Dst: 7, Key: 1000 + p.ID(), Words: []float64{float64(p.ID())}},
+		}
+		received[p.ID()] = Route(p, 1, out)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("%v", m.Clocks()), fmt.Sprintf("%v", m.Congestion(0)), fmt.Sprintf("%v", received)
+}
+
+func TestRouteGOMAXPROCSDeterminism(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	settings := []int{1, 2}
+	if n := runtime.NumCPU(); n > 2 {
+		settings = append(settings, n)
+	}
+	var baseClocks, baseLinks, baseDelivered string
+	baseGMP := 0
+	for _, gmp := range settings {
+		runtime.GOMAXPROCS(gmp)
+		clocks, links, delivered := routerWorkload(t)
+		if baseGMP == 0 {
+			baseClocks, baseLinks, baseDelivered, baseGMP = clocks, links, delivered, gmp
+			continue
+		}
+		if clocks != baseClocks {
+			t.Errorf("gomaxprocs %d vs %d: clocks differ:\n%s\n%s", gmp, baseGMP, clocks, baseClocks)
+		}
+		if links != baseLinks {
+			t.Errorf("gomaxprocs %d vs %d: link loads differ", gmp, baseGMP)
+		}
+		if delivered != baseDelivered {
+			t.Errorf("gomaxprocs %d vs %d: delivered message order differs", gmp, baseGMP)
+		}
+	}
+}

@@ -58,6 +58,12 @@ go vet -vettool="$vmlint_bin" ./... || { rm -f "$vmlint_bin"; echo "vmlint (vett
 rm -f "$vmlint_bin"
 
 go test ./...
+# Full internal tree under the race detector. This includes the
+# GOMAXPROCS determinism stress (internal/bench TestGOMAXPROCSDeterminism
+# plus the collective and router variants): the same E1–E5 workloads at
+# GOMAXPROCS 1, 2 and NumCPU must produce bit-identical clocks, link
+# loads, metrics folds and profile documents, with the race detector
+# watching the host-parallel engine the whole time.
 go test -race ./internal/...
 # The profiler invariant tests (bit-identity, bucket reconciliation)
 # under the race detector: the span recorder runs on every processor
@@ -113,12 +119,21 @@ grep -q '^vmprim_run_failures_total 1$' "$tmpdir/metrics.prom" || {
 	exit 1
 }
 
-# Continuous-benchmark gate: a fresh 1-iteration host run must
-# reproduce the committed snapshot's simulated times bit for bit.
-# Host ns/op at -benchtime 1x is pure noise and stays informational
-# (benchdiff gates it only under -gate-host).
-go run ./cmd/hostbench -d 4 -n 64 -benchtime 1x -json \
+# Continuous-benchmark gate, now a GOMAXPROCS sweep: a fresh
+# 1-iteration host run at GOMAXPROCS 1, 2, 4 and NumCPU must reproduce
+# the committed snapshot's simulated times bit for bit at EVERY
+# setting (-each-new-section diffs each sweep section against the
+# gate). Host ns/op at -benchtime 1x is pure noise and stays
+# informational (benchdiff gates it only under -gate-host).
+go run ./cmd/hostbench -d 4 -n 64 -benchtime 1x -sweep 1,2,4,ncpu \
 	-o "$tmpdir/bench-fresh.json" 2>/dev/null
-go run ./cmd/benchdiff -old BENCH_2.json:gate -new "$tmpdir/bench-fresh.json"
+go run ./cmd/benchdiff -old BENCH_2.json:gate -new "$tmpdir/bench-fresh.json" \
+	-each-new-section
+
+# Committed sweep gate: BENCH_3.json's [d4-|d8-]gomaxprocs-N sections
+# must agree on simulated times within each group, and host ns/op at
+# GOMAXPROCS=NumCPU (of the recording host) must not regress beyond
+# 20% versus GOMAXPROCS=1 — parallelism must never be a slowdown.
+go run ./cmd/benchdiff -sweep BENCH_3.json
 
 echo "check.sh: all clean"
