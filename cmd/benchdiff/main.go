@@ -21,6 +21,10 @@
 // Benchmarks present on only one side are reported and gate with
 // -gate-sim (a silently dropped benchmark must not pass the sim gate).
 //
+// Gating never stops at the first mismatch: every comparison runs to
+// completion and the run ends with a summary naming each failing
+// section and benchmark, so one bad section cannot hide the rest.
+//
 // Two additional modes serve GOMAXPROCS sweeps:
 //
 //   - -each-new-section compares the -old section against EVERY
@@ -40,6 +44,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"regexp"
@@ -61,9 +66,12 @@ func main() {
 	flag.Parse()
 
 	if *sweepArg != "" {
-		if !checkSweep(*sweepArg, *hostThreshold) {
-			os.Exit(1)
+		f, err := bench.LoadSnapshotFile(*sweepArg)
+		if err != nil {
+			fatal(err)
 		}
+		failures := checkSweep(os.Stdout, f, *sweepArg, *hostThreshold)
+		exitWithSummary(os.Stdout, "sweep gate", failures)
 		return
 	}
 	if *oldArg == "" || *newArg == "" {
@@ -100,38 +108,51 @@ func main() {
 		cands = append(cands, candidate{newRun, newName})
 	}
 
-	failed := false
+	// Every comparison runs to completion before the exit status is
+	// decided, so one bad section cannot hide failures in the sections
+	// after it — the summary names every failing section and key.
+	var failures []string
 	for i, c := range cands {
 		if i > 0 {
 			fmt.Println()
 		}
-		if !diffRuns(oldRun, oldName, c.run, c.name, *hostThreshold, *gateSim, *gateHost) {
-			failed = true
-		}
+		failures = append(failures, diffRuns(os.Stdout, oldRun, oldName, c.run, c.name, *hostThreshold, *gateSim, *gateHost)...)
 	}
-	if failed {
-		os.Exit(1)
-	}
-	fmt.Println("\nbenchdiff: gate passed")
+	exitWithSummary(os.Stdout, "gate", failures)
 }
 
-// diffRuns prints one old-vs-new comparison and reports whether it
-// passes the gates.
-func diffRuns(oldRun *bench.SnapshotRun, oldName string, newRun *bench.SnapshotRun, newName string,
-	hostThreshold float64, gateSim, gateHost bool) bool {
+// exitWithSummary ends the run: on failures it lists every one and
+// exits nonzero, otherwise it reports the gate as passed.
+func exitWithSummary(w io.Writer, gate string, failures []string) {
+	if len(failures) == 0 {
+		fmt.Fprintf(w, "\nbenchdiff: %s passed\n", gate)
+		return
+	}
+	fmt.Fprintf(w, "\nbenchdiff: %s FAILED, %d problem(s):\n", gate, len(failures))
+	for _, f := range failures {
+		fmt.Fprintf(w, "  %s\n", f)
+	}
+	os.Exit(1)
+}
+
+// diffRuns prints one old-vs-new comparison and returns the gating
+// failures, one per failing benchmark key, labelled with the section
+// they came from.
+func diffRuns(w io.Writer, oldRun *bench.SnapshotRun, oldName string, newRun *bench.SnapshotRun, newName string,
+	hostThreshold float64, gateSim, gateHost bool) []string {
 	deltas := bench.CompareRuns(oldRun, newRun, hostThreshold)
-	fmt.Printf("benchdiff: %s  vs  %s\n", oldName, newName)
+	fmt.Fprintf(w, "benchdiff: %s  vs  %s\n", oldName, newName)
 	if oldRun.Dim != newRun.Dim || oldRun.N != newRun.N {
-		fmt.Printf("warning: configurations differ (d=%d n=%d vs d=%d n=%d); host ratios are not meaningful\n",
+		fmt.Fprintf(w, "warning: configurations differ (d=%d n=%d vs d=%d n=%d); host ratios are not meaningful\n",
 			oldRun.Dim, oldRun.N, newRun.Dim, newRun.N)
 	}
-	fmt.Printf("%-14s %14s %14s %8s   %14s %s\n", "benchmark", "old ns/op", "new ns/op", "host", "sim us/op", "sim")
+	fmt.Fprintf(w, "%-14s %14s %14s %8s   %14s %s\n", "benchmark", "old ns/op", "new ns/op", "host", "sim us/op", "sim")
 	for _, d := range deltas {
 		switch {
 		case d.New == nil:
-			fmt.Printf("%-14s %14d %14s %8s   %14.1f %s\n", d.Name, d.Old.NsPerOp, "-", "-", d.Old.SimUsPerOp, "MISSING in new")
+			fmt.Fprintf(w, "%-14s %14d %14s %8s   %14.1f %s\n", d.Name, d.Old.NsPerOp, "-", "-", d.Old.SimUsPerOp, "MISSING in new")
 		case d.Old == nil:
-			fmt.Printf("%-14s %14s %14d %8s   %14.1f %s\n", d.Name, "-", d.New.NsPerOp, "-", d.New.SimUsPerOp, "new benchmark")
+			fmt.Fprintf(w, "%-14s %14s %14d %8s   %14.1f %s\n", d.Name, "-", d.New.NsPerOp, "-", d.New.SimUsPerOp, "new benchmark")
 		default:
 			host := "n/a"
 			if !math.IsNaN(d.HostRatio) {
@@ -145,59 +166,71 @@ func diffRuns(oldRun *bench.SnapshotRun, oldName string, newRun *bench.SnapshotR
 			if d.HostRegressed {
 				mark = "  << host regression"
 			}
-			fmt.Printf("%-14s %14d %14d %8s   %14.1f %s%s\n",
+			fmt.Fprintf(w, "%-14s %14d %14d %8s   %14.1f %s%s\n",
 				d.Name, d.Old.NsPerOp, d.New.NsPerOp, host, d.New.SimUsPerOp, sim, mark)
 		}
 	}
 
 	v := bench.Summarize(deltas)
-	failed := false
+	var failures []string
 	if len(v.SimMismatches) > 0 {
-		fmt.Printf("\nsimulated time changed for: %s\n", strings.Join(v.SimMismatches, ", "))
-		fmt.Println("sim_us_per_op is deterministic; a change means the modelled machine behaves differently.")
-		failed = failed || gateSim
+		fmt.Fprintf(w, "\nsimulated time changed for: %s\n", strings.Join(v.SimMismatches, ", "))
+		fmt.Fprintln(w, "sim_us_per_op is deterministic; a change means the modelled machine behaves differently.")
+		if gateSim {
+			for _, name := range v.SimMismatches {
+				failures = append(failures, fmt.Sprintf("%s: %s: sim_us_per_op changed", newName, name))
+			}
+		}
 	}
 	if len(v.Missing) > 0 {
-		fmt.Printf("\nbenchmarks on one side only: %s\n", strings.Join(v.Missing, ", "))
-		failed = failed || gateSim
+		fmt.Fprintf(w, "\nbenchmarks on one side only: %s\n", strings.Join(v.Missing, ", "))
+		if gateSim {
+			for _, name := range v.Missing {
+				failures = append(failures, fmt.Sprintf("%s: %s: present on one side only", newName, name))
+			}
+		}
 	}
 	if len(v.HostRegressions) > 0 {
-		fmt.Printf("\nhost regressions beyond %+.0f%%: %s\n", hostThreshold*100, strings.Join(v.HostRegressions, ", "))
-		failed = failed || gateHost
+		fmt.Fprintf(w, "\nhost regressions beyond %+.0f%%: %s\n", hostThreshold*100, strings.Join(v.HostRegressions, ", "))
+		if gateHost {
+			for _, name := range v.HostRegressions {
+				failures = append(failures, fmt.Sprintf("%s: %s: host regression beyond %+.0f%%", newName, name, hostThreshold*100))
+			}
+		}
 	}
-	return !failed
+	return failures
 }
 
 var sweepSection = regexp.MustCompile(`^(.*)gomaxprocs-(\d+)$`)
 
 // checkSweep validates a sweep file: within every [prefix]gomaxprocs-N
 // group, simulated times are bit-identical across all N and host ns/op
-// at the highest N stays within threshold of the lowest N. Reports
-// whether the file passes.
-func checkSweep(path string, threshold float64) bool {
-	f, err := bench.LoadSnapshotFile(path)
-	if err != nil {
-		fatal(err)
-	}
+// at the highest N stays within threshold of the lowest N. Every group
+// is checked even after one fails; the returned slice names each
+// failing section and benchmark.
+func checkSweep(w io.Writer, f *bench.SnapshotFile, path string, threshold float64) []string {
 	type point struct {
 		gmp  int
 		name string
 		run  *bench.SnapshotRun
 	}
+	var failures []string
 	groups := make(map[string][]point)
-	for name, run := range f.Sections {
+	for _, name := range f.SectionNames() {
+		run := f.Sections[name]
 		m := sweepSection.FindStringSubmatch(name)
 		if m == nil {
 			continue
 		}
 		gmp, _ := strconv.Atoi(m[2])
 		if run.GOMAXPROCS != 0 && run.GOMAXPROCS != gmp {
-			fmt.Printf("%s: section %s records gomaxprocs %d, name says %d\n", path, name, run.GOMAXPROCS, gmp)
-			return false
+			fmt.Fprintf(w, "%s: section %s records gomaxprocs %d, name says %d\n", path, name, run.GOMAXPROCS, gmp)
+			failures = append(failures, fmt.Sprintf("%s: recorded gomaxprocs %d disagrees with section name", name, run.GOMAXPROCS))
+			continue
 		}
 		groups[m[1]] = append(groups[m[1]], point{gmp, name, run})
 	}
-	if len(groups) == 0 {
+	if len(groups) == 0 && len(failures) == 0 {
 		fatal(fmt.Errorf("%s: no [prefix]gomaxprocs-N sections", path))
 	}
 
@@ -207,28 +240,27 @@ func checkSweep(path string, threshold float64) bool {
 	}
 	sort.Strings(prefixes)
 
-	ok := true
 	for _, prefix := range prefixes {
 		pts := groups[prefix]
 		sort.Slice(pts, func(i, j int) bool { return pts[i].gmp < pts[j].gmp })
 		base := pts[0]
-		fmt.Printf("sweep %s[%s]: gomaxprocs", path, strings.TrimSuffix(prefix, "-"))
+		fmt.Fprintf(w, "sweep %s[%s]: gomaxprocs", path, strings.TrimSuffix(prefix, "-"))
 		for _, pt := range pts {
-			fmt.Printf(" %d", pt.gmp)
+			fmt.Fprintf(w, " %d", pt.gmp)
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 
 		// Sim drift: every setting against the lowest.
 		for _, pt := range pts[1:] {
 			for _, d := range bench.CompareRuns(base.run, pt.run, threshold) {
 				switch {
 				case d.Old == nil || d.New == nil:
-					fmt.Printf("  %s: benchmark %s missing in %s or %s\n", prefix, d.Name, base.name, pt.name)
-					ok = false
+					fmt.Fprintf(w, "  %s: benchmark %s missing in %s or %s\n", prefix, d.Name, base.name, pt.name)
+					failures = append(failures, fmt.Sprintf("%s: %s: present on one side only vs %s", pt.name, d.Name, base.name))
 				case d.SimChanged:
-					fmt.Printf("  %s/%s: sim_us_per_op differs at gomaxprocs %d vs %d (%.3f -> %.3f)\n",
+					fmt.Fprintf(w, "  %s/%s: sim_us_per_op differs at gomaxprocs %d vs %d (%.3f -> %.3f)\n",
 						prefix, d.Name, base.gmp, pt.gmp, d.Old.SimUsPerOp, d.New.SimUsPerOp)
-					ok = false
+					failures = append(failures, fmt.Sprintf("%s: %s: sim_us_per_op differs from gomaxprocs %d", pt.name, d.Name, base.gmp))
 				}
 			}
 		}
@@ -257,7 +289,8 @@ func checkSweep(path string, threshold float64) bool {
 				marker := ""
 				if d.HostRegressed && gated {
 					marker = fmt.Sprintf("  << slower than gomaxprocs %d beyond %+.0f%%", base.gmp, threshold*100)
-					ok = false
+					failures = append(failures, fmt.Sprintf("%s: %s: slower than gomaxprocs %d beyond %+.0f%%",
+						pt.name, d.Name, base.gmp, threshold*100))
 				}
 				ratio := "n/a"
 				if !math.IsNaN(d.HostRatio) {
@@ -267,15 +300,12 @@ func checkSweep(path string, threshold float64) bool {
 				if !gated && pt.gmp > ncpu && ncpu > 0 {
 					note = "  (beyond num_cpu, not gated)"
 				}
-				fmt.Printf("  %-14s %10d ns/op @%d  %10d ns/op @%d  speedup %s%s%s\n",
+				fmt.Fprintf(w, "  %-14s %10d ns/op @%d  %10d ns/op @%d  speedup %s%s%s\n",
 					d.Name, d.Old.NsPerOp, base.gmp, d.New.NsPerOp, pt.gmp, ratio, marker, note)
 			}
 		}
 	}
-	if ok {
-		fmt.Println("benchdiff: sweep gate passed")
-	}
-	return ok
+	return failures
 }
 
 // loadRun resolves a file.json[:section] argument.

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"vmprim/internal/bench"
+)
+
+func result(name string, ns int64, sim float64) bench.SnapshotResult {
+	return bench.SnapshotResult{Name: name, NsPerOp: ns, SimUsPerOp: sim, Iterations: 1}
+}
+
+func snapshotRun(gmp int, results ...bench.SnapshotResult) *bench.SnapshotRun {
+	return &bench.SnapshotRun{Dim: 4, N: 64, Benchtime: "1x", GOMAXPROCS: gmp, Results: results}
+}
+
+// diffRuns must walk every benchmark and name each failing key — one
+// early mismatch cannot hide the rest.
+func TestDiffRunsReportsEveryFailure(t *testing.T) {
+	oldRun := snapshotRun(0,
+		result("E1", 100, 10),
+		result("E2", 100, 20),
+		result("E3", 100, 30),
+		result("E4", 100, 40),
+	)
+	newRun := snapshotRun(0,
+		result("E1", 100, 11), // sim drift
+		// E2 missing entirely
+		result("E3", 500, 30), // host regression
+		result("E4", 100, 41), // second sim drift, after the other failures
+	)
+	var buf strings.Builder
+	failures := diffRuns(&buf, oldRun, "old.json:gate", newRun, "new.json:current", 0.20, true, true)
+	for _, want := range []string{
+		"new.json:current: E1: sim_us_per_op changed",
+		"new.json:current: E4: sim_us_per_op changed",
+		"new.json:current: E2: present on one side only",
+		"new.json:current: E3: host regression beyond +20%",
+	} {
+		found := false
+		for _, f := range failures {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("failures missing %q: %v", want, failures)
+		}
+	}
+	if len(failures) != 4 {
+		t.Errorf("got %d failures, want 4: %v", len(failures), failures)
+	}
+	out := buf.String()
+	for _, want := range []string{"CHANGED", "MISSING in new", "host regression"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// With the host gate off, a host regression is reported in the text
+// but does not fail the run.
+func TestDiffRunsHostGateOff(t *testing.T) {
+	oldRun := snapshotRun(0, result("E1", 100, 10))
+	newRun := snapshotRun(0, result("E1", 500, 10))
+	var buf strings.Builder
+	failures := diffRuns(&buf, oldRun, "old", newRun, "new", 0.20, true, false)
+	if len(failures) != 0 {
+		t.Errorf("host regression gated with -gate-host=false: %v", failures)
+	}
+	if !strings.Contains(buf.String(), "host regression") {
+		t.Error("host regression not reported in text")
+	}
+}
+
+// checkSweep must keep validating after a failure: every group and
+// every bad section shows up in the failure list, in deterministic
+// order.
+func TestCheckSweepReportsAllGroupsAndKeys(t *testing.T) {
+	f := &bench.SnapshotFile{
+		Host: &bench.HostInfo{NumCPU: 4},
+		Sections: map[string]*bench.SnapshotRun{
+			"d4-gomaxprocs-1": snapshotRun(1, result("E1", 100, 10)),
+			"d4-gomaxprocs-4": snapshotRun(4, result("E1", 500, 11)), // sim drift + gated host slowdown
+			"d8-gomaxprocs-1": snapshotRun(1, result("E2", 100, 20)),
+			"d8-gomaxprocs-4": snapshotRun(4, result("E2", 100, 21)), // drift in the second group too
+			"bad-gomaxprocs-2": {
+				Dim: 4, N: 64, GOMAXPROCS: 8, // label disagrees with recorded value
+				Results: []bench.SnapshotResult{result("E1", 100, 10)},
+			},
+		},
+	}
+	var buf strings.Builder
+	failures := checkSweep(&buf, f, "sweep.json", 0.20)
+	for _, want := range []string{
+		"bad-gomaxprocs-2: recorded gomaxprocs 8 disagrees with section name",
+		"d4-gomaxprocs-4: E1: sim_us_per_op differs from gomaxprocs 1",
+		"d4-gomaxprocs-4: E1: slower than gomaxprocs 1 beyond +20%",
+		"d8-gomaxprocs-4: E2: sim_us_per_op differs from gomaxprocs 1",
+	} {
+		found := false
+		for _, f := range failures {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("failures missing %q: %v", want, failures)
+		}
+	}
+
+	// Section iteration is sorted, so a second pass produces the same
+	// failures in the same order.
+	var buf2 strings.Builder
+	again := checkSweep(&buf2, f, "sweep.json", 0.20)
+	if !reflect.DeepEqual(failures, again) {
+		t.Errorf("failure order not deterministic:\n%v\n%v", failures, again)
+	}
+	if buf.String() != buf2.String() {
+		t.Error("report text not deterministic across runs")
+	}
+}
+
+// A clean sweep returns no failures.
+func TestCheckSweepClean(t *testing.T) {
+	f := &bench.SnapshotFile{
+		Host: &bench.HostInfo{NumCPU: 4},
+		Sections: map[string]*bench.SnapshotRun{
+			"gomaxprocs-1": snapshotRun(1, result("E1", 100, 10)),
+			"gomaxprocs-4": snapshotRun(4, result("E1", 90, 10)),
+		},
+	}
+	var buf strings.Builder
+	if failures := checkSweep(&buf, f, "sweep.json", 0.20); len(failures) != 0 {
+		t.Errorf("clean sweep failed: %v", failures)
+	}
+}

@@ -15,8 +15,15 @@
 //	vmprim -profile E1 -metrics-out m.json
 //	                         also snapshot the run's metrics registry
 //	                         (a .prom suffix selects Prometheus text)
+//	vmprim -critpath E4      trace the run's critical path: makespan
+//	                         attribution and the cost-model conformance
+//	                         report on stdout ("why is this run slow?")
+//	vmprim -critpath E4 -model ipsc -critpath-out cp.json
+//	                         same on the iPSC cost model, with the
+//	                         machine-readable document written to a file
 //	vmprim -demo-deadlock    run a deliberately deadlocked program and
-//	                         print its post-mortem report
+//	                         print its post-mortem report (with the
+//	                         critical path up to the deadlock)
 //
 // Every mode accepts -recv-timeout to change the deadlock watchdog's
 // default arming interval (default 30s; raise it under heavy host
@@ -37,12 +44,16 @@ import (
 	"vmprim/internal/bench"
 	"vmprim/internal/costmodel"
 	"vmprim/internal/hypercube"
+	"vmprim/internal/obs"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	exp := flag.String("exp", "", "experiment id to run (E1..E5, F1..F3, A1..A4, X1..X3, or 'all')")
 	profile := flag.String("profile", "", "profile a representative run of an experiment (E1..E5)")
+	critpath := flag.String("critpath", "", "trace the critical path of a representative run (E1..E5)")
+	critpathOut := flag.String("critpath-out", "", "write the critical-path JSON of a -critpath or -profile run to this path")
+	model := flag.String("model", "cm2", "cost model for -critpath (cm2 or ipsc)")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	traceOut := flag.String("trace-out", "", "Chrome trace output path for -profile (default vmprim-trace-<id>.json, '-' to skip)")
 	recvTimeout := flag.Duration("recv-timeout", 0, "deadlock watchdog arming interval (0 keeps the 30s default)")
@@ -65,8 +76,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "demo-deadlock: %v\n", err)
 			os.Exit(1)
 		}
+	case *critpath != "":
+		if err := runCritPath(*critpath, *jsonOut, *critpathOut, *model); err != nil {
+			writePostMortem(err, *pmOut)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", *critpath, err)
+			os.Exit(1)
+		}
 	case *profile != "":
-		if err := runProfile(*profile, *jsonOut, *traceOut, *metricsOut); err != nil {
+		if err := runProfile(*profile, *jsonOut, *traceOut, *metricsOut, *critpathOut); err != nil {
 			writePostMortem(err, *pmOut)
 			fmt.Fprintf(os.Stderr, "%s: %v\n", *profile, err)
 			os.Exit(1)
@@ -187,6 +204,9 @@ func runDemoDeadlock(jsonOut bool, pmOut, metricsOut string) error {
 		return err
 	}
 	defer m.Close()
+	// The post-mortem then carries the critical path up to the
+	// deadlock, showing which causal chain the machine was stuck behind.
+	m.EnableCritPath(true)
 	// Short timeout: the program is known-deadlocked, no point waiting
 	// out the default 30s. An explicit -recv-timeout still applies via
 	// the machine-wide default set in main.
@@ -226,10 +246,69 @@ func runDemoDeadlock(jsonOut bool, pmOut, metricsOut string) error {
 	return nil
 }
 
+// runCritPath executes the experiment's representative workload with
+// the critical-path tracer on and prints the makespan attribution and
+// cost-model conformance report.
+func runCritPath(id string, jsonOut bool, outPath, model string) error {
+	var params costmodel.Params
+	switch strings.ToLower(model) {
+	case "", "cm2":
+		params = costmodel.CM2()
+	case "ipsc":
+		params = costmodel.IPSC()
+	default:
+		return fmt.Errorf("unknown cost model %q (have cm2, ipsc)", model)
+	}
+	res, err := bench.ProfileRunOpts(id, bench.ProfileOpts{CritPath: true, Params: &params})
+	if err != nil {
+		return err
+	}
+	cp := res.CritPath
+	if cp == nil {
+		return fmt.Errorf("no critical path recorded")
+	}
+	if err := cp.Check(); err != nil {
+		return fmt.Errorf("critical-path invariants violated: %w", err)
+	}
+	if jsonOut {
+		if err := cp.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("%s — %s  [model %s]\n", res.ID, res.Desc, strings.ToLower(model))
+		for i, tt := range res.Times {
+			fmt.Printf("  run %d: %.1f simulated us\n", i+1, float64(tt))
+		}
+		fmt.Println()
+		cp.WriteText(os.Stdout)
+	}
+	return writeCritPath(cp, outPath)
+}
+
+// writeCritPath writes the critical-path JSON document to path ("" is
+// a no-op).
+func writeCritPath(cp *obs.CritPath, path string) error {
+	if path == "" || cp == nil {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	werr := cp.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		fmt.Fprintf(os.Stderr, "wrote critical path to %s\n", path)
+	}
+	return werr
+}
+
 // runProfile executes the experiment's representative workload with
 // the profiler on, prints the span tree (or profile JSON), and writes
 // the Chrome trace next to the working directory.
-func runProfile(id string, jsonOut bool, traceOut, metricsOut string) error {
+func runProfile(id string, jsonOut bool, traceOut, metricsOut, critpathOut string) error {
 	res, err := bench.ProfileRun(id, true)
 	if err != nil {
 		return err
@@ -237,6 +316,9 @@ func runProfile(id string, jsonOut bool, traceOut, metricsOut string) error {
 	pf := res.Profile
 	if err := pf.Check(); err != nil {
 		return fmt.Errorf("profile invariants violated: %w", err)
+	}
+	if err := writeCritPath(res.CritPath, critpathOut); err != nil {
+		return err
 	}
 	if jsonOut {
 		if err := pf.WriteJSON(os.Stdout); err != nil {

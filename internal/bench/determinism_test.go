@@ -33,12 +33,13 @@ func gomaxprocsSettings() []int {
 // simCapture is everything about a profiled run that must be
 // bit-identical across GOMAXPROCS.
 type simCapture struct {
-	times   string
-	clocks  string
-	links   string
-	profile []byte
-	chrome  []byte
-	metrics []metrics.MetricValue
+	times    string
+	clocks   string
+	links    string
+	profile  []byte
+	chrome   []byte
+	critpath []byte
+	metrics  []metrics.MetricValue
 }
 
 func captureRun(t *testing.T, id string) *simCapture {
@@ -62,6 +63,17 @@ func captureRun(t *testing.T, id string) *simCapture {
 		t.Fatalf("%s: chrome trace: %v", id, err)
 	}
 	c.chrome = append([]byte(nil), buf.Bytes()...)
+	buf.Reset()
+	if res.CritPath == nil {
+		t.Fatalf("%s: no critical path recorded", id)
+	}
+	if err := res.CritPath.Check(); err != nil {
+		t.Fatalf("%s: critical path invariants: %v", id, err)
+	}
+	if err := res.CritPath.WriteJSON(&buf); err != nil {
+		t.Fatalf("%s: critpath JSON: %v", id, err)
+	}
+	c.critpath = append([]byte(nil), buf.Bytes()...)
 	for _, mv := range res.Metrics.Metrics {
 		if hypercube.HostSchedMetricNames(mv.Name) {
 			continue
@@ -107,6 +119,10 @@ func TestGOMAXPROCSDeterminism(t *testing.T) {
 				if !bytes.Equal(c.chrome, base.chrome) {
 					t.Errorf("gomaxprocs %d vs %d: Chrome trace differs (%d vs %d bytes)",
 						gmp, baseGMP, len(c.chrome), len(base.chrome))
+				}
+				if !bytes.Equal(c.critpath, base.critpath) {
+					t.Errorf("gomaxprocs %d vs %d: critical path differs (%d vs %d bytes)",
+						gmp, baseGMP, len(c.critpath), len(base.critpath))
 				}
 				if len(c.metrics) != len(base.metrics) {
 					t.Fatalf("gomaxprocs %d vs %d: metric count differs (%d vs %d)",

@@ -27,6 +27,21 @@ import (
 // are exported, so a modest bound suffices.
 const profileTraceLimit = 4096
 
+// ProfileOpts selects what a profiled workload records and on which
+// cost model it runs.
+type ProfileOpts struct {
+	// Profile arms the span profiler (and the message trace for the
+	// Chrome export's flow arrows).
+	Profile bool
+	// CritPath arms the critical-path tracer; the result's CritPath
+	// (and, with Profile also set, Profile.Crit) carries the decoded
+	// path and the cost-model conformance report.
+	CritPath bool
+	// Params overrides the machine's cost model; nil means the tables'
+	// default CM2.
+	Params *costmodel.Params
+}
+
 // ProfileResult is one profiled experiment workload.
 type ProfileResult struct {
 	// ID is the experiment id (E1..E5).
@@ -47,6 +62,10 @@ type ProfileResult struct {
 	// Profile is the profile of the last run, or nil when enable was
 	// false.
 	Profile *obs.Profile
+	// CritPath is the critical path of the last run, or nil when the
+	// tracer was off. Like Times it is simulated truth: bit-identical
+	// at every GOMAXPROCS.
+	CritPath *obs.CritPath
 	// Metrics is the machine's metrics snapshot after the workload:
 	// cumulative counters over every run the workload executed, plus
 	// the last run's gauges. Always populated.
@@ -57,61 +76,78 @@ type ProfileResult struct {
 func ProfileIDs() []string { return []string{"E1", "E2", "E3", "E4", "E5"} }
 
 // ProfileRun executes the representative workload of experiment id on
-// a fresh machine, with the profiler enabled or not, and returns the
-// simulated times of every run plus (when enabled) the profile of the
-// final run. The same seeds and machine parameters as the experiment
-// tables are used, so the times line up with EXPERIMENTS.md.
+// a fresh machine, with the profiler and critical-path tracer enabled
+// or not, and returns the simulated times of every run plus (when
+// enabled) the profile and critical path of the final run. The same
+// seeds and machine parameters as the experiment tables are used, so
+// the times line up with EXPERIMENTS.md.
 func ProfileRun(id string, enable bool) (*ProfileResult, error) {
+	return ProfileRunOpts(id, ProfileOpts{Profile: enable, CritPath: enable})
+}
+
+// ProfileRunOpts is ProfileRun with the recording switches and cost
+// model spelled out.
+func ProfileRunOpts(id string, opts ProfileOpts) (*ProfileResult, error) {
 	switch strings.ToUpper(id) {
 	case "E1":
-		return profileE1(enable)
+		return profileE1(opts)
 	case "E2":
-		return profileE2(enable)
+		return profileE2(opts)
 	case "E3":
-		return profileE3(enable)
+		return profileE3(opts)
 	case "E4":
-		return profileE4(enable)
+		return profileE4(opts)
 	case "E5":
-		return profileE5(enable)
+		return profileE5(opts)
 	default:
 		return nil, fmt.Errorf("bench: no profiled workload for %q (have %v)", id, ProfileIDs())
 	}
 }
 
 // newProfiledMachine builds the machine every profiled workload runs
-// on, with profiling and tracing armed when enable is set.
-func newProfiledMachine(d int, enable bool) (*hypercube.Machine, error) {
-	m, err := hypercube.New(d, costmodel.CM2())
+// on, with the recorders opts asks for armed.
+func newProfiledMachine(d int, opts ProfileOpts) (*hypercube.Machine, error) {
+	params := costmodel.CM2()
+	if opts.Params != nil {
+		params = *opts.Params
+	}
+	m, err := hypercube.New(d, params)
 	if err != nil {
 		return nil, err
 	}
-	if enable {
+	if opts.Profile {
 		m.EnableProfile(true)
 		m.EnableTrace(profileTraceLimit)
+	}
+	if opts.CritPath {
+		m.EnableCritPath(true)
 	}
 	return m, nil
 }
 
-// finish assembles the result, pulling the machine's profile of the
-// most recent run when enabled.
-func finish(id, desc string, m *hypercube.Machine, enable bool, times ...costmodel.Time) *ProfileResult {
+// finish assembles the result, pulling the machine's profile and
+// critical path of the most recent run when their recorders were on.
+func finish(id, desc string, m *hypercube.Machine, opts ProfileOpts, times ...costmodel.Time) *ProfileResult {
 	res := &ProfileResult{
 		ID: id, Desc: desc, Times: times,
 		Clocks:  m.Clocks(),
 		Links:   m.Congestion(0),
 		Metrics: m.Metrics().Snapshot(),
 	}
-	if enable {
+	if opts.Profile {
 		res.Profile = m.Profile()
+	}
+	if opts.CritPath {
+		res.CritPath = m.CritPath()
 	}
 	return res
 }
 
 // profileE1 exercises all four primitives back to back in a single
 // run on the E1 table's n=512, d=10 configuration.
-func profileE1(enable bool) (*ProfileResult, error) {
+func profileE1(opts ProfileOpts) (*ProfileResult, error) {
 	const d, n = 10, 512
-	m, err := newProfiledMachine(d, enable)
+	m, err := newProfiledMachine(d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -134,14 +170,14 @@ func profileE1(enable bool) (*ProfileResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish("E1", "extract+insert+distribute+reduce, n=512, p=1024", m, enable, elapsed), nil
+	return finish("E1", "extract+insert+distribute+reduce, n=512, p=1024", m, opts, elapsed), nil
 }
 
 // profileE2 runs the E2 Reduce and Distribute pair at n=512 on the
 // d=8 machine.
-func profileE2(enable bool) (*ProfileResult, error) {
+func profileE2(opts ProfileOpts) (*ProfileResult, error) {
 	const d, n = 8, 512
-	m, err := newProfiledMachine(d, enable)
+	m, err := newProfiledMachine(d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -161,15 +197,15 @@ func profileE2(enable bool) (*ProfileResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish("E2", "reduce+spread, n=512, p=256", m, enable, elapsed), nil
+	return finish("E2", "reduce+spread, n=512, p=256", m, opts, elapsed), nil
 }
 
 // profileE3 runs the three vector-matrix variants at n=512 on the
 // d=10 machine; the profile is of the last (naive) run, whose span
 // tree shows the router storm the primitives avoid.
-func profileE3(enable bool) (*ProfileResult, error) {
+func profileE3(opts ProfileOpts) (*ProfileResult, error) {
 	const d, n = 10, 512
-	m, err := newProfiledMachine(d, enable)
+	m, err := newProfiledMachine(d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -183,14 +219,14 @@ func profileE3(enable bool) (*ProfileResult, error) {
 		}
 		times = append(times, elapsed)
 	}
-	return finish("E3", "matvec primitive, fused, naive, n=512, p=1024", m, enable, times...), nil
+	return finish("E3", "matvec primitive, fused, naive, n=512, p=1024", m, opts, times...), nil
 }
 
 // profileE4 runs the E4 table's n=128 primitive-based Gaussian
 // elimination on the d=8 machine.
-func profileE4(enable bool) (*ProfileResult, error) {
+func profileE4(opts ProfileOpts) (*ProfileResult, error) {
 	const d, n = 8, 128
-	m, err := newProfiledMachine(d, enable)
+	m, err := newProfiledMachine(d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -199,14 +235,14 @@ func profileE4(enable bool) (*ProfileResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish("E4", "gauss primitives, n=128, p=256", m, enable, elapsed), nil
+	return finish("E4", "gauss primitives, n=128, p=256", m, opts, elapsed), nil
 }
 
 // profileE5 runs the E5 table's 32x48 primitive-based simplex on the
 // d=8 machine.
-func profileE5(enable bool) (*ProfileResult, error) {
+func profileE5(opts ProfileOpts) (*ProfileResult, error) {
 	const d, rows, cols = 8, 32, 48
-	m, err := newProfiledMachine(d, enable)
+	m, err := newProfiledMachine(d, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -215,5 +251,5 @@ func profileE5(enable bool) (*ProfileResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish("E5", "simplex primitives, 32x48, p=256", m, enable, elapsed), nil
+	return finish("E5", "simplex primitives, 32x48, p=256", m, opts, elapsed), nil
 }

@@ -3,6 +3,7 @@ package collective
 import (
 	"fmt"
 
+	"vmprim/internal/costmodel"
 	"vmprim/internal/gray"
 	"vmprim/internal/hypercube"
 )
@@ -28,6 +29,12 @@ func BcastAllPort(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []f
 	p.NoteCollective("bcast-allport", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
+	if p.Profiling() && p.Params().AllPorts {
+		// The analytic cost assumes concurrent ports; on a one-port
+		// machine the schedule serializes by design, so no prediction
+		// is recorded there (the flag would fire spuriously).
+		p.SpanPredict(costmodel.PredictBcastAllPort(p.Params(), k, len(data)))
+	}
 	if k == 0 {
 		cp := make([]float64, len(data))
 		copy(cp, data)
@@ -137,6 +144,9 @@ func ReduceAllPort(p *hypercube.Proc, mask, tag, rootRel int, data []float64, co
 	p.NoteCollective("reduce-allport", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
+	if p.Profiling() && p.Params().AllPorts {
+		p.SpanPredict(costmodel.PredictReduceAllPort(p.Params(), k, len(data)))
+	}
 	if k == 0 {
 		cp := make([]float64, len(data))
 		copy(cp, data)

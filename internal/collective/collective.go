@@ -30,6 +30,7 @@ package collective
 import (
 	"fmt"
 
+	"vmprim/internal/costmodel"
 	"vmprim/internal/gray"
 	"vmprim/internal/hypercube"
 )
@@ -114,6 +115,11 @@ func Bcast(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float64 
 	p.NoteCollective("bcast", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
+	if p.Profiling() {
+		// Only the root's data length is authoritative; non-roots may
+		// pass nil, predicting 0 — conformance takes the max over procs.
+		p.SpanPredict(costmodel.PredictBcast(p.Params(), k, len(data)))
+	}
 	r := rel(p, mask) ^ rootRel // address relative to the root
 	holds := r == 0
 	var buf []float64
@@ -157,6 +163,10 @@ func BcastLarge(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []flo
 	defer p.EndSpan()
 	p.NoteCollective("bcast-large", mask, tag)
 	k := gray.OnesCount(mask)
+	if p.Profiling() && k > 0 && len(data)%(1<<k) == 0 {
+		p.SpanPredict(costmodel.PredictScatter(p.Params(), k, len(data), 2) +
+			costmodel.PredictAllGather(p.Params(), k, len(data)>>uint(k)))
+	}
 	if k == 0 {
 		cp := make([]float64, len(data))
 		copy(cp, data)
@@ -182,6 +192,9 @@ func Reduce(p *hypercube.Proc, mask, tag, rootRel int, data []float64, comb Comb
 	p.NoteCollective("reduce", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
+	if p.Profiling() {
+		p.SpanPredict(costmodel.PredictReduce(p.Params(), k, len(data)))
+	}
 	r := rel(p, mask) ^ rootRel
 	acc := p.GetBuf(len(data))
 	copy(acc, data)
@@ -219,6 +232,9 @@ func ReduceScatter(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 	p.NoteCollective("reduce-scatter", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
+	if p.Profiling() {
+		p.SpanPredict(costmodel.PredictReduceScatter(p.Params(), k, len(data)))
+	}
 	if k == 0 {
 		cp := p.GetBuf(len(data))
 		copy(cp, data)
@@ -258,6 +274,9 @@ func AllGather(p *hypercube.Proc, mask, tag int, piece []float64) []float64 {
 	defer p.EndSpan()
 	p.NoteCollective("all-gather", mask, tag)
 	ds := gray.Dims(mask)
+	if p.Profiling() {
+		p.SpanPredict(costmodel.PredictAllGather(p.Params(), len(ds), len(piece)))
+	}
 	r := rel(p, mask)
 	buf := p.GetBuf(len(piece))
 	copy(buf, piece)
@@ -293,6 +312,9 @@ func AllReduce(p *hypercube.Proc, mask, tag int, data []float64, comb Combiner) 
 	p.NoteCollective("all-reduce", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
+	if p.Profiling() {
+		p.SpanPredict(costmodel.PredictAllReduce(p.Params(), k, len(data)))
+	}
 	if k == 0 {
 		cp := p.GetBuf(len(data))
 		copy(cp, data)
@@ -331,6 +353,9 @@ func Gather(p *hypercube.Proc, mask, tag, rootRel int, piece []float64) []float6
 	p.NoteCollective("gather", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
+	if p.Profiling() {
+		p.SpanPredict(costmodel.PredictGather(p.Params(), k, len(piece), 2))
+	}
 	r := rel(p, mask) ^ rootRel
 	// Gather toward r == 0 in XOR-relative space; each intermediate
 	// node prefixes its own buffer. The XOR relabelling scrambles
@@ -389,6 +414,11 @@ func Scatter(p *hypercube.Proc, mask, tag, rootRel int, data []float64) []float6
 	p.NoteCollective("scatter", mask, tag)
 	ds := gray.Dims(mask)
 	k := len(ds)
+	if p.Profiling() {
+		// Non-roots pass nil data and predict 0; the root's prediction
+		// carries the conformance entry via the max over processors.
+		p.SpanPredict(costmodel.PredictScatter(p.Params(), k, len(data), 2))
+	}
 	if k == 0 {
 		cp := p.GetBuf(len(data))
 		copy(cp, data)
@@ -476,6 +506,9 @@ func AllToAll(p *hypercube.Proc, mask, tag int, out [][]float64) [][]float64 {
 	if len(out) != 1<<k {
 		panic(fmt.Sprintf("collective: AllToAll needs %d payloads, got %d", 1<<k, len(out)))
 	}
+	if p.Profiling() && len(out) > 0 {
+		p.SpanPredict(costmodel.PredictAllToAll(p.Params(), k, len(out[0])))
+	}
 	r := rel(p, mask)
 	sz := -1
 	cur := make([][]float64, len(out))
@@ -520,6 +553,9 @@ func ScanInclusive(p *hypercube.Proc, mask, tag int, data []float64, comb Combin
 	defer p.EndSpan()
 	p.NoteCollective("scan", mask, tag)
 	ds := gray.Dims(mask)
+	if p.Profiling() {
+		p.SpanPredict(costmodel.PredictScan(p.Params(), len(ds), len(data)))
+	}
 	r := rel(p, mask)
 	prefix := p.GetBuf(len(data))
 	copy(prefix, data)
@@ -548,6 +584,9 @@ func ScanExclusive(p *hypercube.Proc, mask, tag int, data, identity []float64, c
 	defer p.EndSpan()
 	p.NoteCollective("scan-exclusive", mask, tag)
 	ds := gray.Dims(mask)
+	if p.Profiling() {
+		p.SpanPredict(costmodel.PredictScan(p.Params(), len(ds), len(data)))
+	}
 	r := rel(p, mask)
 	prefix := p.GetBuf(len(identity))
 	copy(prefix, identity)

@@ -1,0 +1,196 @@
+package collective
+
+import (
+	"testing"
+
+	"vmprim/internal/costmodel"
+	"vmprim/internal/hypercube"
+	"vmprim/internal/obs"
+)
+
+// The conformance contract: on a run that matches the cost model —
+// simultaneous entry, structured traffic — every collective's measured
+// inclusive time lands on the analytic prediction. These tests run the
+// collectives under critical-path tracing and read the report back.
+
+func critMachine(t *testing.T, d int, params costmodel.Params) *hypercube.Machine {
+	t.Helper()
+	m, err := hypercube.New(d, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableCritPath(true)
+	return m
+}
+
+func TestConformanceStructuredCollectivesNearOne(t *testing.T) {
+	// Each collective runs alone from t=0 — simultaneous entry is the
+	// model's premise; skewed entry is tested separately below.
+	bodies := map[string]func(p *hypercube.Proc, full int, data []float64){
+		"bcast": func(p *hypercube.Proc, full int, data []float64) {
+			p.Recycle(Bcast(p, full, 1, 0, data))
+		},
+		"reduce": func(p *hypercube.Proc, full int, data []float64) {
+			if out := Reduce(p, full, 1, 0, data, Sum); out != nil {
+				p.Recycle(out)
+			}
+		},
+		"reduce-scatter": func(p *hypercube.Proc, full int, data []float64) {
+			piece, _ := ReduceScatter(p, full, 1, data, Sum)
+			p.Recycle(piece)
+		},
+		"all-gather": func(p *hypercube.Proc, full int, data []float64) {
+			p.Recycle(AllGather(p, full, 1, data[:4]))
+		},
+		"all-reduce": func(p *hypercube.Proc, full int, data []float64) {
+			p.Recycle(AllReduce(p, full, 1, data, Sum))
+		},
+		"scan": func(p *hypercube.Proc, full int, data []float64) {
+			p.Recycle(ScanInclusive(p, full, 1, data, Sum))
+		},
+	}
+	for _, params := range []costmodel.Params{costmodel.CM2(), costmodel.IPSC()} {
+		for name, body := range bodies {
+			m := critMachine(t, 4, params)
+			full := m.P() - 1
+			if _, err := m.Run(func(p *hypercube.Proc) {
+				n := 64
+				data := make([]float64, n)
+				for i := range data {
+					data[i] = float64(p.ID()*n + i)
+				}
+				body(p, full, data)
+			}); err != nil {
+				t.Fatal(err)
+			}
+			cp := m.CritPath()
+			if cp == nil {
+				t.Fatal("no critical path recorded")
+			}
+			if err := cp.Check(); err != nil {
+				t.Fatal(err)
+			}
+			var e *obs.ConformanceEntry
+			for i := range cp.Conformance {
+				if cp.Conformance[i].Name == name {
+					e = &cp.Conformance[i]
+				}
+			}
+			if e == nil {
+				t.Errorf("%v: no conformance entry for %q (got %v)", params, name, cp.Conformance)
+				continue
+			}
+			if e.Ratio < 0.9 || e.Ratio > 1.1 {
+				t.Errorf("%v: %s measured/predicted = %.3f, want ~1.0 (measured %.1f predicted %.1f)",
+					params, name, e.Ratio, e.MeasuredUs, e.PredictedUs)
+			}
+			if e.Flagged {
+				t.Errorf("%v: %s flagged at ratio %.3f", params, name, e.Ratio)
+			}
+		}
+	}
+}
+
+// TestConformanceBcastExact: the binomial broadcast with simultaneous
+// entry matches the model to the bit, not just within tolerance.
+func TestConformanceBcastExact(t *testing.T) {
+	m := critMachine(t, 3, costmodel.CM2())
+	full := m.P() - 1
+	if _, err := m.Run(func(p *hypercube.Proc) {
+		data := make([]float64, 32)
+		p.Recycle(Bcast(p, full, 1, 0, data))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.CritPath()
+	var got *obs.ConformanceEntry
+	for i := range cp.Conformance {
+		if cp.Conformance[i].Name == "bcast" {
+			got = &cp.Conformance[i]
+		}
+	}
+	if got == nil {
+		t.Fatalf("no bcast entry in %v", cp.Conformance)
+	}
+	if got.Ratio != 1 {
+		t.Fatalf("bcast ratio = %v, want exactly 1 (measured %g predicted %g)",
+			got.Ratio, got.MeasuredUs, got.PredictedUs)
+	}
+	// And the prediction is the documented closed form.
+	want := float64(costmodel.PredictBcast(costmodel.CM2(), 3, 32))
+	if got.PredictedUs != want {
+		t.Fatalf("predicted = %g, want %g", got.PredictedUs, want)
+	}
+}
+
+// TestConformanceSkewShowsUpInMeasured: a member that enters a
+// collective late inflates the slowest measured time while the
+// prediction stays put — the ratio is how the report surfaces skew.
+func TestConformanceSkewShowsUpInMeasured(t *testing.T) {
+	m := critMachine(t, 2, costmodel.CM2())
+	full := m.P() - 1
+	if _, err := m.Run(func(p *hypercube.Proc) {
+		if p.ID() == 3 {
+			p.Compute(100000) // arrive very late
+		}
+		data := make([]float64, 16)
+		p.Recycle(AllReduce(p, full, 1, data, Sum))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.CritPath()
+	var e *obs.ConformanceEntry
+	for i := range cp.Conformance {
+		if cp.Conformance[i].Name == "all-reduce" {
+			e = &cp.Conformance[i]
+		}
+	}
+	if e == nil {
+		t.Fatal("no all-reduce entry")
+	}
+	if e.Ratio <= cp.Threshold || !e.Flagged {
+		t.Fatalf("skewed all-reduce should be flagged: %+v (threshold %g)", e, cp.Threshold)
+	}
+}
+
+// TestConformanceAllPort: the all-port collectives predict only on the
+// all-port machine and land near the model there.
+func TestConformanceAllPort(t *testing.T) {
+	params := costmodel.CM2()
+	params.AllPorts = true
+	m := critMachine(t, 3, params)
+	full := m.P() - 1
+	if _, err := m.Run(func(p *hypercube.Proc) {
+		data := make([]float64, 33) // divisible by k=3
+		_ = BcastAllPort(p, full, 1, 0, data)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.CritPath()
+	var e *obs.ConformanceEntry
+	for i := range cp.Conformance {
+		if cp.Conformance[i].Name == "bcast-allport" {
+			e = &cp.Conformance[i]
+		}
+	}
+	if e == nil {
+		t.Fatalf("no bcast-allport entry in %v", cp.Conformance)
+	}
+	if e.Flagged {
+		t.Fatalf("all-port bcast flagged: %+v", e)
+	}
+
+	// One-port machine: no prediction, so no entry at all.
+	m1 := critMachine(t, 3, costmodel.CM2())
+	if _, err := m1.Run(func(p *hypercube.Proc) {
+		data := make([]float64, 33)
+		_ = BcastAllPort(p, full, 1, 0, data)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m1.CritPath().Conformance {
+		if e.Name == "bcast-allport" {
+			t.Fatalf("one-port machine recorded an all-port prediction: %+v", e)
+		}
+	}
+}

@@ -63,6 +63,33 @@ func TestRingWrapsKeepingNewest(t *testing.T) {
 	}
 }
 
+// TestRingTruncationBoundary pins the exact point where truncation
+// starts: a ring holding exactly Depth events has dropped nothing;
+// one more record evicts precisely the oldest event.
+func TestRingTruncationBoundary(t *testing.T) {
+	var r Ring
+	r.Init(8)
+	for i := 0; i < r.Depth(); i++ {
+		r.Record(Event{Kind: KindSend, Tag: i})
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 8 || got[0].Seq != 0 {
+		t.Fatalf("full ring: len %d oldest seq %d, want 8 and 0 (nothing dropped)", len(got), got[0].Seq)
+	}
+	if dropped := r.Total() - uint64(len(got)); dropped != 0 {
+		t.Fatalf("full ring reports %d dropped", dropped)
+	}
+
+	r.Record(Event{Kind: KindSend, Tag: 8})
+	got = r.Snapshot(got[:0])
+	if len(got) != 8 || got[0].Seq != 1 || got[7].Seq != 8 {
+		t.Fatalf("after one wrap: len %d seqs %d..%d, want 8 and 1..8", len(got), got[0].Seq, got[7].Seq)
+	}
+	if dropped := r.Total() - uint64(len(got)); dropped != 1 {
+		t.Fatalf("after one wrap: %d dropped, want 1", dropped)
+	}
+}
+
 func sampleReport() *Report {
 	return &Report{
 		Cause:      "hypercube: processor 0: recv timeout on dim 1 (tag 7): deadlock",
@@ -102,6 +129,7 @@ func TestReportWriteText(t *testing.T) {
 		"recv dim 1 tag 7",
 		"phase > exchange",
 		"flight recorder (last 2 of 5 events)",
+		"… 3 earlier events dropped",
 		"Bcast",
 		"captured payload: 8 words",
 		"undelivered link messages",
@@ -110,6 +138,20 @@ func TestReportWriteText(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("text report missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// The dropped-events marker appears only when the ring actually
+// truncated: a proc whose ring kept everything shows no such line.
+func TestReportWriteTextNoDroppedLineWhenComplete(t *testing.T) {
+	r := sampleReport()
+	for i := range r.Procs {
+		r.Procs[i].EventsTotal = uint64(len(r.Procs[i].Events))
+	}
+	var buf bytes.Buffer
+	r.WriteText(&buf)
+	if strings.Contains(buf.String(), "earlier events dropped") {
+		t.Fatalf("dropped marker printed for a complete ring:\n%s", buf.String())
 	}
 }
 

@@ -135,6 +135,11 @@ type Report struct {
 	// Links lists the links with undelivered messages, by source then
 	// dimension.
 	Links []LinkState `json:"links,omitempty"`
+	// Crit is the critical path through the run up to the failure,
+	// present when the machine ran with critical-path tracing enabled.
+	// For a deadlock it shows which causal chain the machine was stuck
+	// behind when the watchdog fired.
+	Crit *obs.CritPath `json:"critpath,omitempty"`
 }
 
 // WriteJSON writes the report as an indented JSON document.
@@ -175,6 +180,9 @@ func (r *Report) WriteText(w io.Writer) {
 		}
 		fmt.Fprintf(bw, "\nproc %d flight recorder (last %d of %d events):\n",
 			ps.ID, len(ps.Events), ps.EventsTotal)
+		if dropped := ps.EventsTotal - uint64(len(ps.Events)); dropped > 0 {
+			fmt.Fprintf(bw, "  … %d earlier events dropped\n", dropped)
+		}
 		for _, ev := range ps.Events {
 			fmt.Fprintf(bw, "  #%-5d t=%-10.1f %-4s", ev.Seq, float64(ev.VT), ev.Kind)
 			if ev.Kind == KindCollective {
@@ -198,6 +206,10 @@ func (r *Report) WriteText(w io.Writer) {
 			fmt.Fprintf(bw, "  %d -dim%d-> %d: %d msg(s), %d words, oldest tag %d sent t=%.1f\n",
 				l.Src, l.Dim, l.Dst, l.Queued, l.QueuedWords, l.HeadTag, l.HeadVT)
 		}
+	}
+	if r.Crit != nil {
+		fmt.Fprintln(bw)
+		r.Crit.WriteText(bw)
 	}
 	bw.Flush()
 }

@@ -97,10 +97,13 @@ const defaultFlightDepth = 32
 
 // message is one inter-processor transfer: a payload of words, a
 // protocol tag for error detection, and the virtual arrival time.
+// Under critical-path recording cp carries a snapshot of the sender's
+// chain-attribution vector (see critpath.go), pooled like the payload.
 type message struct {
 	words  []float64
 	tag    int
 	arrive costmodel.Time
+	cp     []float64
 }
 
 // Machine is a simulated hypercube multiprocessor. Construct it with
@@ -151,6 +154,14 @@ type Machine struct {
 	profile     *obs.Profile
 	vols        map[int]map[int]int
 
+	// Critical-path state (see critpath.go): critEnabled gates chain
+	// recording for the next Run, crit holds the last recorded path,
+	// confThreshold the conformance flagging ratio (0 means
+	// obs.DefaultConformanceThreshold).
+	critEnabled   bool
+	crit          *obs.CritPath
+	confThreshold float64
+
 	// postmortem is the report of the most recent failed Run (see
 	// postmortem.go); nil after a successful one. met is the machine's
 	// metrics registry, folded from the per-processor counters once per
@@ -179,6 +190,7 @@ type runCtx struct {
 	abort chan struct{}
 	errs  chan procError
 	prof  bool
+	crit  bool
 
 	wg        sync.WaitGroup
 	abortOnce sync.Once
@@ -394,6 +406,7 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 		errs:  make(chan procError, m.p),
 	}
 	rc.prof = m.profEnabled
+	rc.crit = m.critEnabled
 	rc.wg.Add(m.p)
 	for pid := 0; pid < m.p; pid++ {
 		// The per-run Proc reset happens on the worker goroutine
@@ -454,9 +467,17 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 	m.mu.Unlock()
 	m.collectTrace(m.procs)
 
+	// The critical path is built on success and on failure alike: a
+	// failed run's chain up to the death rides along in the
+	// post-mortem.
+	var crit *obs.CritPath
+	if m.critEnabled {
+		crit = m.buildCritPath(elapsed)
+	}
 	var prof *obs.Profile
 	if m.profEnabled && firstErr == nil {
 		prof = m.buildProfile()
+		prof.Crit = crit
 	}
 
 	// On failure, assemble the post-mortem while the links still hold
@@ -465,14 +486,16 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 	var pm *flightrec.Report
 	if firstErr != nil {
 		pm = m.buildPostMortem(firstErr.Error(), failedPid)
+		pm.Crit = crit
 		firstErr = &RunError{Err: firstErr, Report: pm}
 	}
 	m.mu.Lock()
 	m.profile = prof
 	m.postmortem = pm
+	m.crit = crit
 	m.mu.Unlock()
 
-	m.updateMetrics(elapsed, sch, firstErr != nil)
+	m.updateMetrics(elapsed, sch, firstErr != nil, crit)
 	m.drain()
 	return elapsed, firstErr
 }
@@ -536,9 +559,17 @@ func (p *Proc) resetForRun(rc *runCtx) {
 	for d := range p.linkWords {
 		p.linkWords[d] = 0
 	}
-	p.prof = rc.prof
+	// Chain recording attributes the path to spans, so it activates
+	// the span machinery even when no Profile will be built.
+	p.prof = rc.prof || rc.crit
 	if p.prof || len(p.ps.nodes) > 0 {
 		p.ps.reset()
+	}
+	p.crit = rc.crit
+	if p.crit {
+		p.cpReset()
+	} else if len(p.cp) > 0 {
+		p.cp = p.cp[:0]
 	}
 	p.nColl, p.nArms, p.nRearms = 0, 0, 0
 	p.nRecvParks, p.nSendStalls, p.nWakeups = 0, 0, 0
@@ -636,6 +667,12 @@ type Proc struct {
 	prof bool
 	ps   profState
 
+	// Critical-path chain state, active only under EnableCritPath:
+	// crit gates the hot-path hooks, cp is the encoded
+	// chain-attribution vector (see critpath.go).
+	crit bool
+	cp   []float64
+
 	pool bufPool
 
 	// Flight recorder and post-mortem state (see postmortem.go). rec is
@@ -706,9 +743,14 @@ func (p *Proc) Params() costmodel.Params { return p.m.params }
 func (p *Proc) Clock() costmodel.Time { return p.clock }
 
 // AdvanceTo moves the virtual clock forward to at least t. It never
-// moves the clock backwards.
+// moves the clock backwards. Under critical-path recording the
+// advance counts as idle time on the chain (Recv accounts its own
+// advances causally and does not go through here).
 func (p *Proc) AdvanceTo(t costmodel.Time) {
 	if t > p.clock {
+		if p.crit {
+			p.cpIdle(p.clock, t)
+		}
 		p.clock = t
 	}
 }
@@ -728,6 +770,9 @@ func (p *Proc) Compute(flops int) {
 	c := p.m.params.FlopCost(flops)
 	p.clock += c
 	p.tComp += c
+	if p.crit {
+		p.cpCompute(c)
+	}
 }
 
 // Send transmits words to the neighbor along dimension d with the
@@ -739,6 +784,9 @@ func (p *Proc) Send(d, tag int, words []float64) {
 	p.clock += p.m.params.SendCost(len(words))
 	p.tStart += p.m.params.CommStartup
 	p.tXfer += costmodel.Time(len(words)) * p.m.params.CommPerWord
+	if p.crit {
+		p.cpChargeSend(d, len(words))
+	}
 	p.post(d, tag, words, p.clock)
 }
 
@@ -761,6 +809,9 @@ func (p *Proc) post(d, tag int, words []float64, arrive costmodel.Time) {
 	p.msgHist[msgBin(len(words))]++
 	p.record(flightrec.KindSend, "", d, tag, len(words), arrive)
 	msg := message{words: cp, tag: tag, arrive: arrive}
+	if p.crit {
+		msg.cp = p.cpSnapshot()
+	}
 	ch := p.m.in[dst][d]
 	select {
 	case ch <- msg:
@@ -899,7 +950,12 @@ func (p *Proc) Recv(d, wantTag int) []float64 {
 		p.Capture(msg.words)
 		panic(fmt.Sprintf("tag mismatch on dim %d: got %d, want %d", d, msg.tag, wantTag))
 	}
-	p.AdvanceTo(msg.arrive)
+	if p.crit {
+		p.cpRecv(&msg, d)
+	}
+	if msg.arrive > p.clock {
+		p.clock = msg.arrive
+	}
 	p.record(flightrec.KindRecv, "", d, wantTag, len(msg.words), p.clock)
 	return msg.words
 }
@@ -933,17 +989,29 @@ func (p *Proc) ExchangeAll(dims []int, tag int, payloads [][]float64) [][]float6
 	}
 	start := p.clock
 	if p.m.params.AllPorts {
+		// Under chain recording every posted message must carry the
+		// chain as of the phase start plus its own send charge (the
+		// ports run concurrently, so the per-message chains branch from
+		// the same snapshot rather than accumulating).
+		var pre []float64
+		if p.crit {
+			pre = p.cpSnapshot()
+		}
 		var maxCost costmodel.Time
-		maxWords := 0
+		maxWords, maxDim := 0, -1
 		for i, d := range dims {
 			c := p.m.params.SendCost(len(payloads[i]))
 			if c > maxCost {
 				maxCost = c
 			}
-			if len(payloads[i]) > maxWords {
-				maxWords = len(payloads[i])
+			if maxDim < 0 || len(payloads[i]) > maxWords {
+				maxWords, maxDim = len(payloads[i]), d
 			}
 			p.clock = start + c
+			if p.crit {
+				p.cpRestore(pre)
+				p.cpChargeSend(d, len(payloads[i]))
+			}
 			p.post(d, tag, payloads[i], p.clock)
 		}
 		p.clock = start + maxCost
@@ -952,6 +1020,13 @@ func (p *Proc) ExchangeAll(dims []int, tag int, payloads [][]float64) [][]float6
 		if len(dims) > 0 {
 			p.tStart += p.m.params.CommStartup
 			p.tXfer += costmodel.Time(maxWords) * p.m.params.CommPerWord
+			if p.crit {
+				p.cpRestore(pre)
+				p.cpChargeSend(maxDim, maxWords)
+			}
+		}
+		if pre != nil {
+			p.pool.put(pre)
 		}
 	} else {
 		for i, d := range dims {
@@ -986,6 +1061,9 @@ func (p *Proc) RouteCharge(n int) {
 	p.clock += p.m.params.RouteHopCost(n)
 	p.tStart += p.m.params.RouteStartup
 	p.tXfer += costmodel.Time(n) * p.m.params.RoutePerWord
+	if p.crit {
+		p.cpRoute(p.m.params.RouteStartup, costmodel.Time(n)*p.m.params.RoutePerWord)
+	}
 }
 
 // RoutePhaseCharge charges the clock for one dimension-ordered routing
@@ -996,6 +1074,10 @@ func (p *Proc) RoutePhaseCharge(msgs, n int) {
 	p.clock += p.m.params.RoutePhaseCost(msgs, n)
 	p.tStart += p.m.params.RouteStartup + costmodel.Time(msgs)*p.m.params.RoutePerMsg
 	p.tXfer += costmodel.Time(n) * p.m.params.RoutePerWord
+	if p.crit {
+		p.cpRoute(p.m.params.RouteStartup+costmodel.Time(msgs)*p.m.params.RoutePerMsg,
+			costmodel.Time(n)*p.m.params.RoutePerWord)
+	}
 }
 
 func (p *Proc) checkDim(d int) {

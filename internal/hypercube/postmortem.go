@@ -179,6 +179,14 @@ type machMetrics struct {
 	lastElapsed, poolHitRate *metrics.Gauge
 	maxParked                *metrics.Gauge
 	msgWords                 *metrics.Histogram
+
+	// Critical-path gauges, describing the most recent run recorded
+	// under EnableCritPath (zero otherwise). Pure virtual-time values:
+	// deterministic, and included in determinism comparisons.
+	cpCompute, cpStartup    *metrics.Gauge
+	cpTransfer, cpIdle      *metrics.Gauge
+	cpHops, cpEndProc       *metrics.Gauge
+	cpWorstRatio, cpFlagged *metrics.Gauge
 }
 
 // schedMetricNames lists the registry entries fed by the host
@@ -220,6 +228,15 @@ func newMachMetrics() machMetrics {
 		poolHitRate: reg.Gauge("vmprim_pool_hit_rate", "fraction of pool gets served from a free list in the most recent run"),
 		maxParked:   reg.Gauge("vmprim_sched_max_parked_procs", "high-water mark of concurrently parked processor goroutines in the most recent run (host-nondeterministic)"),
 		msgWords:    reg.Histogram("vmprim_message_words", "payload size of link messages in 64-bit words", msgWordBounds),
+
+		cpCompute:    reg.Gauge("vmprim_critpath_compute_us", "compute time on the most recent run's critical path"),
+		cpStartup:    reg.Gauge("vmprim_critpath_startup_us", "start-up time on the most recent run's critical path"),
+		cpTransfer:   reg.Gauge("vmprim_critpath_transfer_us", "transfer time on the most recent run's critical path"),
+		cpIdle:       reg.Gauge("vmprim_critpath_idle_us", "idle time on the most recent run's critical path"),
+		cpHops:       reg.Gauge("vmprim_critpath_hops", "cross-processor hops on the most recent run's critical path"),
+		cpEndProc:    reg.Gauge("vmprim_critpath_end_proc", "processor the most recent run's critical path ends on"),
+		cpWorstRatio: reg.Gauge("vmprim_critpath_conformance_worst_ratio", "largest measured/predicted ratio in the most recent conformance report"),
+		cpFlagged:    reg.Gauge("vmprim_critpath_conformance_flagged", "conformance entries exceeding the flagging threshold in the most recent run"),
 	}
 }
 
@@ -229,8 +246,9 @@ func (m *Machine) Metrics() *metrics.Registry { return m.met.reg }
 
 // updateMetrics folds the per-processor counters of the run that just
 // ended into the registry. Called once per Run, after the workers have
-// quiesced.
-func (m *Machine) updateMetrics(elapsed costmodel.Time, sch SchedStats, failed bool) {
+// quiesced; crit is the run's critical path, or nil when recording was
+// off (the critpath gauges then read zero).
+func (m *Machine) updateMetrics(elapsed costmodel.Time, sch SchedStats, failed bool, crit *obs.CritPath) {
 	mm := &m.met
 	mm.runs.Add(1)
 	if failed {
@@ -270,4 +288,22 @@ func (m *Machine) updateMetrics(elapsed costmodel.Time, sch SchedStats, failed b
 	}
 	mm.poolHitRate.Set(rate)
 	mm.msgWords.AddBuckets(hist[:], float64(words))
+	if crit != nil {
+		mm.cpCompute.Set(float64(crit.Buckets.Compute))
+		mm.cpStartup.Set(float64(crit.Buckets.Startup))
+		mm.cpTransfer.Set(float64(crit.Buckets.Transfer))
+		mm.cpIdle.Set(float64(crit.Buckets.Idle))
+		mm.cpHops.Set(float64(crit.Hops))
+		mm.cpEndProc.Set(float64(crit.EndProc))
+		ratio, flagged := crit.WorstConformance()
+		mm.cpWorstRatio.Set(ratio)
+		mm.cpFlagged.Set(float64(flagged))
+	} else {
+		for _, g := range []*metrics.Gauge{
+			mm.cpCompute, mm.cpStartup, mm.cpTransfer, mm.cpIdle,
+			mm.cpHops, mm.cpEndProc, mm.cpWorstRatio, mm.cpFlagged,
+		} {
+			g.Set(0)
+		}
+	}
 }

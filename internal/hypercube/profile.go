@@ -52,10 +52,13 @@ type profNode struct {
 }
 
 // nodeAgg is a processor's aggregate over all occurrences of a node.
+// pred accumulates the cost model's predicted time recorded with
+// SpanPredict; the conformance report compares it against incl.
 type nodeAgg struct {
 	count              int64
 	incl, excl         costmodel.Time
 	comp, start, xfer  costmodel.Time
+	pred               costmodel.Time
 	msgs, words, flops int64
 }
 
@@ -163,6 +166,25 @@ func (p *Proc) EndSpan() {
 	}
 }
 
+// SpanPredict records the cost model's analytic prediction for the
+// innermost open span's current occurrence (see costmodel.Predict*).
+// Collectives call it right after entry, when the step count and
+// payload size are known; the critical-path tracer's conformance
+// report compares the accumulated predictions against the measured
+// inclusive times. Guard the prediction arithmetic at the call site
+// with Profiling(). A no-op when span recording is off or no span is
+// open.
+func (p *Proc) SpanPredict(t costmodel.Time) {
+	if !p.prof {
+		return
+	}
+	n := len(p.ps.stack)
+	if n == 0 {
+		return
+	}
+	p.ps.agg[p.ps.stack[n-1].node].pred += t
+}
+
 // SpanNote attaches an annotation (an embedding change, a chosen
 // algorithm variant, ...) to the innermost open span's tree node.
 // Notes are recorded on processor 0 only and deduplicated; guard any
@@ -242,6 +264,7 @@ func (m *Machine) buildProfile() *obs.Profile {
 				Count: a.count,
 				Incl:  a.incl, Excl: a.excl,
 				Compute: a.comp, Startup: a.start, Transfer: a.xfer,
+				Pred: a.pred,
 				Msgs: a.msgs, Words: a.words, Flops: a.flops,
 			}
 		}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -141,6 +142,9 @@ func NewRegistry() *Registry {
 }
 
 func (r *Registry) register(m *metric) {
+	if !ValidName(m.name) {
+		panic("metrics: invalid metric name " + m.name)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, dup := r.byName[m.name]; dup {
@@ -148,6 +152,27 @@ func (r *Registry) register(m *metric) {
 	}
 	r.byName[m.name] = m
 	r.order = append(r.order, m)
+}
+
+// ValidName reports whether name is a legal Prometheus metric name,
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Names cannot be escaped in the exposition
+// format, only rejected, so registration refuses them up front.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // Counter registers and returns a counter.
@@ -280,13 +305,13 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	for i := range s.Metrics {
 		m := &s.Metrics[i]
 		if m.Help != "" {
-			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, m.Help)
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.Name, escapeHelp(m.Help))
 		}
 		fmt.Fprintf(bw, "# TYPE %s %s\n", m.Name, m.Type)
 		switch m.Type {
 		case "histogram":
 			for _, b := range m.Buckets {
-				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.Name, promFloat(b.Le), b.Count)
+				fmt.Fprintf(bw, "%s_bucket{le=\"%s\"} %d\n", m.Name, escapeLabel(promFloat(b.Le)), b.Count)
 			}
 			fmt.Fprintf(bw, "%s_sum %s\n", m.Name, promFloat(m.Sum))
 			fmt.Fprintf(bw, "%s_count %d\n", m.Name, m.Count)
@@ -296,6 +321,19 @@ func (s *Snapshot) WritePrometheus(w io.Writer) error {
 	}
 	return bw.Flush()
 }
+
+// The exposition format is line-oriented, so the only characters that
+// can break it are escaped: backslash and line feed in HELP text, plus
+// the double quote inside label values. Anything else passes through
+// verbatim (Go's %q would emit \t and \u escapes Prometheus parsers do
+// not understand).
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
 
 // promFloat renders a float the way Prometheus expects: integral
 // values without an exponent, +Inf spelled literally.

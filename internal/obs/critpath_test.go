@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vmprim/internal/costmodel"
+)
+
+func sampleCritPath() *CritPath {
+	return &CritPath{
+		Dim: 2, P: 4, EndProc: 3, Makespan: 100,
+		Buckets: Buckets{Compute: 40, Startup: 30, Transfer: 20, Idle: 10},
+		Hops:    2,
+		ByDim:   []costmodel.Time{12, 8},
+		Spans: []PathSpan{
+			{Name: "eliminate", Buckets: Buckets{Compute: 40, Startup: 20, Transfer: 15}},
+			{Name: "eliminate>bcast", Buckets: Buckets{Startup: 10, Transfer: 5, Idle: 4}},
+		},
+		Other: Buckets{Idle: 6},
+		Chain: []PathSegment{
+			{Proc: 1, From: -1, Span: "eliminate", Kind: "compute", Dim: -1, T0: 0, T1: 40},
+			{Proc: 1, From: -1, Span: "eliminate>bcast", Kind: "send", Dim: 1, T0: 40, T1: 90},
+			{Proc: 3, From: 1, Span: "eliminate>bcast", Kind: "hop", Dim: 1, T0: 90, T1: 90},
+			{Proc: 3, From: -1, Span: "", Kind: "idle", Dim: -1, T0: 90, T1: 100},
+		},
+		ChainDropped: 7,
+		Threshold:    2.0,
+		Conformance: []ConformanceEntry{
+			{Name: "route", Count: 2, MeasuredUs: 50, PredictedUs: 10, Ratio: 5, PathShare: 0.3, Flagged: true},
+			{Name: "eliminate>bcast", Count: 4, MeasuredUs: 11, PredictedUs: 10, Ratio: 1.1, PathShare: 0.19},
+		},
+	}
+}
+
+func TestCritPathCheckAcceptsConsistentPath(t *testing.T) {
+	if err := sampleCritPath().Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCritPathCheckCatchesViolations(t *testing.T) {
+	cases := map[string]func(cp *CritPath){
+		"buckets != makespan": func(cp *CritPath) { cp.Makespan = 99 },
+		"span attribution":    func(cp *CritPath) { cp.Spans[0].Buckets.Compute = 41 },
+		"negative other":      func(cp *CritPath) { cp.Other.Idle = -6; cp.Buckets.Idle -= 12 },
+		"segment order":       func(cp *CritPath) { cp.Chain[1].T1 = 5 },
+		"segment backwards":   func(cp *CritPath) { cp.Chain[0].T1 = -1 },
+		"skew":                func(cp *CritPath) { cp.SkewUs = 0.5 },
+	}
+	for name, mutate := range cases {
+		cp := sampleCritPath()
+		mutate(cp)
+		if err := cp.Check(); err == nil {
+			t.Errorf("%s: Check accepted an inconsistent path", name)
+		}
+	}
+}
+
+func TestCritPathWorstConformance(t *testing.T) {
+	ratio, flagged := sampleCritPath().WorstConformance()
+	if ratio != 5 || flagged != 1 {
+		t.Fatalf("WorstConformance = %g, %d; want 5, 1", ratio, flagged)
+	}
+	empty := &CritPath{}
+	if r, f := empty.WorstConformance(); r != 0 || f != 0 {
+		t.Fatalf("empty = %g, %d", r, f)
+	}
+}
+
+func TestCritPathWriteText(t *testing.T) {
+	var buf strings.Builder
+	sampleCritPath().WriteText(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"critical path: p=4 (d=2)  makespan 100.0 us  ends on proc 3  hops 2",
+		"compute 40.0%",
+		"eliminate",
+		"(outside spans)",
+		"hop 1 -d1-> 3",
+		"7 earlier dropped",
+		"cost-model conformance (flag at measured/predicted > 2.0)",
+		"! route",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCritPathJSONRoundTrip(t *testing.T) {
+	cp := sampleCritPath()
+	var buf strings.Builder
+	if err := cp.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Dim        int     `json:"dim"`
+		P          int     `json:"p"`
+		EndProc    int     `json:"end_proc"`
+		MakespanUs float64 `json:"makespan_us"`
+		Spans      []struct {
+			Name    string  `json:"name"`
+			TotalUs float64 `json:"total_us"`
+			Share   float64 `json:"share"`
+		} `json:"spans"`
+		Chain []struct {
+			Kind string `json:"kind"`
+		} `json:"chain"`
+		Conformance struct {
+			Threshold float64 `json:"threshold"`
+			Entries   []struct {
+				Name    string `json:"name"`
+				Flagged bool   `json:"flagged"`
+			} `json:"entries"`
+		} `json:"conformance"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Dim != 2 || doc.P != 4 || doc.EndProc != 3 || doc.MakespanUs != 100 {
+		t.Fatalf("header = %+v", doc)
+	}
+	if len(doc.Spans) != 2 || doc.Spans[0].Name != "eliminate" || doc.Spans[0].TotalUs != 75 {
+		t.Fatalf("spans = %+v", doc.Spans)
+	}
+	if doc.Spans[0].Share != 0.75 {
+		t.Fatalf("share = %g", doc.Spans[0].Share)
+	}
+	if len(doc.Chain) != 4 || doc.Chain[2].Kind != "hop" {
+		t.Fatalf("chain = %+v", doc.Chain)
+	}
+	if doc.Conformance.Threshold != 2.0 || len(doc.Conformance.Entries) != 2 ||
+		!doc.Conformance.Entries[0].Flagged {
+		t.Fatalf("conformance = %+v", doc.Conformance)
+	}
+	// MarshalJSON (embedded form) must produce the same document.
+	embedded, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a, b any
+	if err := json.Unmarshal(embedded, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &b); err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if string(aj) != string(bj) {
+		t.Fatal("MarshalJSON and WriteJSON documents differ")
+	}
+}
+
+func TestSortSpansByShare(t *testing.T) {
+	spans := []PathSpan{
+		{Name: "b", Buckets: Buckets{Compute: 5}},
+		{Name: "a", Buckets: Buckets{Compute: 5}},
+		{Name: "c", Buckets: Buckets{Compute: 50}},
+	}
+	SortSpansByShare(spans)
+	if spans[0].Name != "c" || spans[1].Name != "a" || spans[2].Name != "b" {
+		t.Fatalf("order = %v", spans)
+	}
+}

@@ -95,6 +95,9 @@ type NodeStats struct {
 	// Compute, Startup and Transfer are the inclusive bucket deltas;
 	// idle is derived as Incl minus their sum.
 	Compute, Startup, Transfer costmodel.Time
+	// Pred is the cost model's predicted time accumulated with
+	// SpanPredict (zero for spans that record no prediction).
+	Pred costmodel.Time
 	// Msgs, Words and Flops are inclusive Stats deltas.
 	Msgs, Words, Flops int64
 }
@@ -181,6 +184,11 @@ type Span struct {
 	// MaxIncl is the largest single-processor inclusive sum: the load
 	// of the slowest processor in this span.
 	MaxIncl costmodel.Time
+	// Pred is the cost model's predicted time summed over processors
+	// (zero for spans without predictions); MaxPred is the largest
+	// single-processor sum, which the conformance report compares
+	// against MaxIncl.
+	Pred, MaxPred costmodel.Time
 	// Buckets attributes the inclusive time (summed over processors).
 	Buckets Buckets
 	// Msgs, Words and Flops are inclusive counter deltas summed over
@@ -225,6 +233,10 @@ type Profile struct {
 	// WriteJSON and ChromeTrace deliberately exclude it (see
 	// HostSched).
 	Sched *HostSched
+	// Crit is the run's critical path, or nil when the producer did
+	// not record one. Unlike Sched it is pure virtual time: all three
+	// exporters include it and determinism comparisons cover it.
+	Crit *CritPath
 
 	nodes []*Span
 	inst  []procInstances
@@ -314,6 +326,10 @@ func Build(dim int, procs []ProcData, events []LinkEvent, links []LinkLoad) *Pro
 			nd.Flops += st.Flops
 			if st.Incl > nd.MaxIncl {
 				nd.MaxIncl = st.Incl
+			}
+			nd.Pred += st.Pred
+			if st.Pred > nd.MaxPred {
+				nd.MaxPred = st.Pred
 			}
 			if ref[i].Parent < 0 {
 				topIncl += st.Incl

@@ -87,6 +87,9 @@ func (pf *Profile) WriteTree(w io.Writer) {
 		fmt.Fprintln(bw)
 	}
 	bw.Flush()
+	if pf.Crit != nil {
+		pf.Crit.WriteText(w)
+	}
 }
 
 func pad(depth int) string {
@@ -111,6 +114,7 @@ type jsonSpan struct {
 	Startup   float64    `json:"startup_us"`
 	Transfer  float64    `json:"transfer_us"`
 	Idle      float64    `json:"idle_us"`
+	PredUs    float64    `json:"pred_us,omitempty"`
 	Msgs      int64      `json:"msgs"`
 	Words     int64      `json:"words"`
 	Flops     int64      `json:"flops"`
@@ -128,6 +132,7 @@ type jsonProfile struct {
 	SkewUs     float64    `json:"bucket_skew_us"`
 	Congestion []LinkLoad `json:"congestion,omitempty"`
 	Spans      jsonSpan   `json:"spans"`
+	CritPath   *CritPath  `json:"critpath,omitempty"`
 }
 
 // WriteJSON writes the machine-readable profile document. Span times
@@ -148,6 +153,7 @@ func (pf *Profile) WriteJSON(w io.Writer) error {
 			Startup:   float64(s.Buckets.Startup) * inv,
 			Transfer:  float64(s.Buckets.Transfer) * inv,
 			Idle:      float64(s.Buckets.Idle) * inv,
+			PredUs:    float64(s.Pred) * inv,
 			Msgs:      s.Msgs,
 			Words:     s.Words,
 			Flops:     s.Flops,
@@ -177,6 +183,7 @@ func (pf *Profile) WriteJSON(w io.Writer) error {
 		SkewUs:     float64(pf.BucketSkew()),
 		Congestion: links,
 		Spans:      conv(pf.Root),
+		CritPath:   pf.Crit,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -225,6 +232,30 @@ func (pf *Profile) ChromeTrace(w io.Writer, maxProcs int) error {
 				fmt.Fprintf(bw, `,"args":{"note":%s}`, strconv.Quote(nd.Note))
 			}
 			bw.WriteString("}")
+		}
+	}
+	// The critical path as its own highlighted track: one complete
+	// event per chain segment, hops as instants. The tid sits past
+	// every processor track so the path renders at the bottom.
+	if pf.Crit != nil && len(pf.Crit.Chain) > 0 {
+		sep()
+		fmt.Fprintf(bw, `{"ph":"M","name":"thread_name","pid":0,"tid":%d,"args":{"name":"critical path"}}`,
+			pf.P)
+		for _, sg := range pf.Crit.Chain {
+			sep()
+			if sg.Kind == "hop" {
+				fmt.Fprintf(bw, `{"ph":"i","s":"t","name":%s,"cat":"critpath","pid":0,"tid":%d,"ts":%s}`,
+					strconv.Quote(fmt.Sprintf("hop %d-d%d->%d", sg.From, sg.Dim, sg.Proc)),
+					pf.P, ftoa(float64(sg.T1)))
+				continue
+			}
+			name := sg.Kind
+			if sg.Span != "" {
+				name = sg.Kind + " " + sg.Span
+			}
+			fmt.Fprintf(bw, `{"ph":"X","name":%s,"cat":"critpath","pid":0,"tid":%d,"ts":%s,"dur":%s,"args":{"proc":%d}}`,
+				strconv.Quote(name), pf.P,
+				ftoa(float64(sg.T0)), ftoa(float64(sg.T1-sg.T0)), sg.Proc)
 		}
 	}
 	if len(shown) > 0 {

@@ -1,0 +1,70 @@
+package router
+
+import (
+	"testing"
+
+	"vmprim/internal/costmodel"
+	"vmprim/internal/hypercube"
+)
+
+// The router's conformance prediction assumes uniform traffic (each
+// phase forwards about half the locally pending volume). These tests
+// pin both sides of that assumption: uniform traffic lands inside the
+// threshold, and hot-spot traffic — the paper's router-vs-primitives
+// argument — blows past it and gets flagged.
+
+func routeConformance(t *testing.T, body func(p *hypercube.Proc)) (ratio float64, flagged bool) {
+	t.Helper()
+	m := hypercube.MustNew(4, costmodel.CM2())
+	m.EnableCritPath(true)
+	if _, err := m.Run(body); err != nil {
+		t.Fatal(err)
+	}
+	cp := m.CritPath()
+	if err := cp.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range cp.Conformance {
+		if e.Name == "route" {
+			return e.Ratio, e.Flagged
+		}
+	}
+	t.Fatalf("no route conformance entry in %+v", cp.Conformance)
+	return 0, false
+}
+
+func TestRouteConformanceUniformWithinThreshold(t *testing.T) {
+	ratio, flagged := routeConformance(t, func(p *hypercube.Proc) {
+		// A random-looking permutation: proc i sends to bit-reversed i,
+		// spreading volume evenly over the links.
+		dst := 0
+		for b := 0; b < p.Dim(); b++ {
+			if p.ID()>>b&1 == 1 {
+				dst |= 1 << (p.Dim() - 1 - b)
+			}
+		}
+		Route(p, 1, []Msg{{Dst: dst, Key: p.ID(), Words: make([]float64, 16)}})
+	})
+	if flagged {
+		t.Errorf("uniform permutation routing flagged at ratio %.2f", ratio)
+	}
+}
+
+func TestRouteConformanceHotSpotFlagged(t *testing.T) {
+	ratio, flagged := routeConformance(t, func(p *hypercube.Proc) {
+		// Everyone floods processor 0: the links into 0 serialize the
+		// whole machine's volume while the prediction assumes each
+		// processor's own injection spreads out.
+		var out []Msg
+		for i := 0; i < 8; i++ {
+			out = append(out, Msg{Dst: 0, Key: p.ID()*8 + i, Words: make([]float64, 16)})
+		}
+		Route(p, 1, out)
+	})
+	if !flagged {
+		t.Errorf("hot-spot routing unflagged at ratio %.2f: congestion should diverge from the uniform model", ratio)
+	}
+	if ratio < 2 {
+		t.Errorf("hot-spot ratio = %.2f, expected well past the threshold", ratio)
+	}
+}

@@ -24,6 +24,7 @@ package router
 import (
 	"fmt"
 
+	"vmprim/internal/costmodel"
 	"vmprim/internal/hypercube"
 )
 
@@ -87,6 +88,15 @@ func Route(p *hypercube.Proc, tag int, outgoing []Msg) []Msg {
 	p.BeginSpan("route")
 	defer p.EndSpan()
 	p.NoteCollective("route", p.FullMask(), tag)
+	if p.Profiling() {
+		// Predict from the local injection load: each of the d phases
+		// forwards about half of what is pending here on average.
+		words := 0
+		for _, m := range outgoing {
+			words += len(m.Words)
+		}
+		p.SpanPredict(costmodel.PredictRoute(p.Params(), p.Dim(), len(outgoing), words, headerWords))
+	}
 	for _, m := range outgoing {
 		if m.Dst < 0 || m.Dst >= p.P() {
 			panic(fmt.Sprintf("router: destination %d out of range [0,%d)", m.Dst, p.P()))

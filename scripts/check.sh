@@ -119,6 +119,76 @@ grep -q '^vmprim_run_failures_total 1$' "$tmpdir/metrics.prom" || {
 	exit 1
 }
 
+# Critical-path gate. The tracer's output is part of the simulated
+# result, not a host-side diagnostic, so the same workload must
+# produce bit-identical critical-path JSON at GOMAXPROCS 1 and the
+# default (NumCPU). The document must also match the committed golden
+# schema — downstream tooling parses these files.
+GOMAXPROCS=1 go run ./cmd/vmprim -critpath E4 \
+	-critpath-out "$tmpdir/critpath-gmp1.json" >/dev/null 2>&1
+go run ./cmd/vmprim -critpath E4 \
+	-critpath-out "$tmpdir/critpath-ncpu.json" >"$tmpdir/critpath.txt" 2>/dev/null
+cmp "$tmpdir/critpath-gmp1.json" "$tmpdir/critpath-ncpu.json" || {
+	echo "critical path differs between GOMAXPROCS 1 and NumCPU" >&2
+	exit 1
+}
+python3 - "$tmpdir/critpath-ncpu.json" scripts/critpath_schema.json <<'PYEOF'
+import json, sys
+
+doc = json.load(open(sys.argv[1]))
+schema = json.load(open(sys.argv[2]))
+defs = schema.get("definitions", {})
+
+def fail(path, msg):
+    raise SystemExit("critpath schema: %s: %s" % (path or "/", msg))
+
+def check(doc, sch, path=""):
+    if "$ref" in sch:
+        sch = defs[sch["$ref"].rsplit("/", 1)[1]]
+    t = sch.get("type")
+    if t == "object":
+        if not isinstance(doc, dict):
+            fail(path, "expected object, got %s" % type(doc).__name__)
+        for key in sch.get("required", []):
+            if key not in doc:
+                fail(path, "missing required key %r" % key)
+        props = sch.get("properties", {})
+        for key, val in doc.items():
+            if key in props:
+                check(val, props[key], path + "/" + key)
+            elif sch.get("additionalProperties") is False:
+                fail(path, "unexpected key %r" % key)
+    elif t == "array":
+        if not isinstance(doc, list):
+            fail(path, "expected array, got %s" % type(doc).__name__)
+        for i, item in enumerate(doc):
+            check(item, sch.get("items", {}), "%s[%d]" % (path, i))
+    elif t == "integer":
+        if not isinstance(doc, int) or isinstance(doc, bool):
+            fail(path, "expected integer, got %r" % doc)
+    elif t == "number":
+        if not isinstance(doc, (int, float)) or isinstance(doc, bool):
+            fail(path, "expected number, got %r" % doc)
+    elif t == "string":
+        if not isinstance(doc, str):
+            fail(path, "expected string, got %r" % doc)
+    elif t == "boolean":
+        if not isinstance(doc, bool):
+            fail(path, "expected boolean, got %r" % doc)
+    if "enum" in sch and doc not in sch["enum"]:
+        fail(path, "%r not one of %s" % (doc, sch["enum"]))
+    if "minimum" in sch and isinstance(doc, (int, float)) \
+            and not isinstance(doc, bool) and doc < sch["minimum"]:
+        fail(path, "%r below minimum %s" % (doc, sch["minimum"]))
+
+check(doc, schema)
+total = sum(doc["buckets_us"].values())
+assert abs(total - doc["makespan_us"]) == 0, \
+    "path weights %r do not sum to makespan %r" % (total, doc["makespan_us"])
+print("critpath: schema ok; makespan %.1f us over %d procs, %d conformance entries" %
+      (doc["makespan_us"], doc["p"], len(doc["conformance"]["entries"])))
+PYEOF
+
 # Continuous-benchmark gate, now a GOMAXPROCS sweep: a fresh
 # 1-iteration host run at GOMAXPROCS 1, 2, 4 and NumCPU must reproduce
 # the committed snapshot's simulated times bit for bit at EVERY

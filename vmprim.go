@@ -80,6 +80,28 @@ type (
 	LinkLoad = obs.LinkLoad
 )
 
+// Critical-path tracer (internal/obs, internal/hypercube). Switch it
+// on per machine with Machine.EnableCritPath(true) before a run;
+// Machine.CritPath() then returns the run's longest causal chain —
+// the sequence of compute, start-up, transfer and idle stretches the
+// makespan was actually waiting on — with its weights attributed to
+// profiler spans and a cost-model conformance table comparing each
+// span's measured time against the Params prediction. The document is
+// deterministic (bit-identical at every GOMAXPROCS) and renderable as
+// text (WriteText) or JSON (WriteJSON); Check verifies that the path
+// weights sum exactly to the makespan.
+type (
+	// CritPath is one run's critical path.
+	CritPath = obs.CritPath
+	// PathSpan is one profiler span's share of the critical path.
+	PathSpan = obs.PathSpan
+	// PathSegment is one causal segment of the path's chain.
+	PathSegment = obs.PathSegment
+	// ConformanceEntry compares one span's measured per-operation time
+	// against the cost model's prediction.
+	ConformanceEntry = obs.ConformanceEntry
+)
+
 // Post-mortems, flight recorder and metrics (internal/hypercube,
 // internal/flightrec, internal/metrics). A failed run's error wraps a
 // *RunError whose Report is the structured post-mortem: per-processor
