@@ -1,4 +1,4 @@
-// Command vmlint runs the repository's static-analysis suite: five
+// Command vmlint runs the repository's static-analysis suite: six
 // analyzers that enforce at compile time the invariants the simulator
 // otherwise only checks (or fails to check) at run time.
 //
@@ -12,11 +12,16 @@
 //	                sequence with agreeing dims, masks, tags and roots
 //	simdeterminism  no wall-clock reads, global rand, or
 //	                map-order-dependent communication in the simulator
+//	commverify      point-to-point protocols are deadlock-free:
+//	                every concretizable SPMD scope is bounded
+//	                model-checked on cubes up to d=4, and unmatched
+//	                sends, tag mismatches, and cyclic waits are
+//	                reported with a counterexample schedule
 //
-// A sixth, collectives, runs implicitly: it summarizes which functions
-// perform collectives and which return identity-derived values, and
-// exports those summaries as package facts so spmdsym and collorder
-// see through package boundaries.
+// A seventh, collectives, runs implicitly: it summarizes which
+// functions perform collectives and which return identity-derived
+// values, and exports those summaries as package facts so spmdsym,
+// collorder and commverify see through package boundaries.
 //
 // Usage, standalone:
 //
@@ -24,6 +29,7 @@
 //	vmlint ./internal/apps
 //	vmlint -fix ./...           # apply suggested fixes in place
 //	vmlint -diff ./...          # print fixes as diffs, change nothing
+//	vmlint -json ./...          # findings as a JSON array on stdout
 //	vmlint -suppressions ./...  # audit //lint:allow directives
 //
 // or as a go vet tool, which integrates with the build cache and
@@ -45,6 +51,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -52,6 +59,7 @@ import (
 	"sort"
 
 	"vmprim/internal/analysis/collorder"
+	"vmprim/internal/analysis/commverify"
 	"vmprim/internal/analysis/framework"
 	"vmprim/internal/analysis/recyclecheck"
 	"vmprim/internal/analysis/simdeterminism"
@@ -66,6 +74,7 @@ func analyzers() []*framework.Analyzer {
 		spmdsym.Analyzer,
 		collorder.Analyzer,
 		simdeterminism.Analyzer,
+		commverify.Analyzer,
 	}
 }
 
@@ -81,6 +90,7 @@ func main() {
 	flags := flag.NewFlagSet("vmlint", flag.ExitOnError)
 	fix := flags.Bool("fix", false, "apply suggested fixes to the source files")
 	diff := flags.Bool("diff", false, "print suggested fixes as unified diffs without applying them")
+	jsonOut := flags.Bool("json", false, "print findings as a JSON array on stdout instead of text on stderr")
 	suppressions := flags.Bool("suppressions", false, "list //lint:allow directives instead of findings")
 	flags.Parse(args)
 	patterns := flags.Args()
@@ -99,6 +109,11 @@ func main() {
 
 	if *suppressions {
 		listSuppressions(res.Suppressions)
+		return
+	}
+
+	if *jsonOut {
+		reportJSON(res.Findings)
 		return
 	}
 
@@ -148,6 +163,52 @@ func main() {
 func report(findings []framework.Finding) {
 	for _, f := range findings {
 		fmt.Fprintln(os.Stderr, f.String())
+	}
+	if len(findings) > 0 {
+		os.Exit(2)
+	}
+}
+
+// jsonFinding is the machine-readable diagnostic shape: one object
+// per finding, stable field names, for CI annotators and editors.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix,omitempty"`
+}
+
+// findingsJSON converts findings to the -json wire shape. The fix
+// field carries the first suggested fix's description — the edits
+// themselves stay with -fix/-diff, which can apply them.
+func findingsJSON(findings []framework.Finding) []jsonFinding {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		jf := jsonFinding{
+			File:     f.Pos.Filename,
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		}
+		if len(f.Fixes) > 0 {
+			jf.Fix = f.Fixes[0].Message
+		}
+		out = append(out, jf)
+	}
+	return out
+}
+
+// reportJSON prints the findings as a JSON array on stdout (always an
+// array, [] when clean, so consumers never special-case) and keeps
+// the text mode's exit contract.
+func reportJSON(findings []framework.Finding) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(findingsJSON(findings)); err != nil {
+		fatal(err)
 	}
 	if len(findings) > 0 {
 		os.Exit(2)

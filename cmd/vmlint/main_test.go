@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"testing"
+
+	"vmprim/internal/analysis/framework"
+)
+
+// TestFindingsJSON pins the -json wire shape: stable field names, fix
+// description carried when present and omitted when not, and an empty
+// slice (not null) for a clean run — CI consumers parse this.
+func TestFindingsJSON(t *testing.T) {
+	in := []framework.Finding{
+		{
+			Analyzer: "commverify",
+			Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+			Message:  "protocol deadlocks on the d=2 cube",
+		},
+		{
+			Analyzer: "recyclecheck",
+			Pos:      token.Position{Filename: "b.go", Line: 10, Column: 2},
+			Message:  "buffer never recycled",
+			Fixes: []framework.SuggestedFix{
+				{Message: "add p.Recycle(buf)"},
+				{Message: "second fix must not leak into the report"},
+			},
+		},
+	}
+	got, err := json.Marshal(findingsJSON(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `[{"file":"a.go","line":3,"col":7,"analyzer":"commverify","message":"protocol deadlocks on the d=2 cube"},` +
+		`{"file":"b.go","line":10,"col":2,"analyzer":"recyclecheck","message":"buffer never recycled","fix":"add p.Recycle(buf)"}]`
+	if string(got) != want {
+		t.Errorf("wire shape drifted:\n got: %s\nwant: %s", got, want)
+	}
+
+	empty, err := json.Marshal(findingsJSON(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(empty) != "[]" {
+		t.Errorf("clean run must encode as [], got %s", empty)
+	}
+}
+
+// TestAnalyzerRoster guards the registration list: every analyzer the
+// docs promise, exactly once, commverify included.
+func TestAnalyzerRoster(t *testing.T) {
+	want := map[string]bool{
+		"recyclecheck": false, "spanbalance": false, "spmdsym": false,
+		"collorder": false, "simdeterminism": false, "commverify": false,
+	}
+	for _, a := range analyzers() {
+		seen, ok := want[a.Name]
+		if !ok {
+			t.Errorf("unexpected analyzer %q registered", a.Name)
+		}
+		if seen {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		want[a.Name] = true
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("analyzer %q not registered", name)
+		}
+	}
+}

@@ -580,5 +580,17 @@ func (c *checker) renderArg(e ast.Expr) string {
 	if c.cfg.Expr(c.tainted, e) {
 		return "rank-dependent"
 	}
+	// A dimension-list literal ([]int{0, 1}) must be rendered per
+	// element: types.ExprString collapses every composite literal to
+	// the same "(composite literal)" placeholder, which would make
+	// ExchangeAll over []int{0, 1} compare equal to one over
+	// []int{1, 2} and hide a real divergence.
+	if lit, ok := ast.Unparen(e).(*ast.CompositeLit); ok {
+		parts := make([]string, len(lit.Elts))
+		for i, el := range lit.Elts {
+			parts[i] = c.renderArg(el)
+		}
+		return "[" + strings.Join(parts, " ") + "]"
+	}
 	return types.ExprString(e)
 }

@@ -1,0 +1,79 @@
+package commverify
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmprim/internal/analysis/analysistest"
+)
+
+func TestCommverify(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), Analyzer, "vmprim/internal/apps/cv")
+}
+
+// TestCrossPackageFacts proves the RelaySkew finding rides on the
+// xrelay protocol facts: with the dependency analyzed the tag
+// mismatch is found, without it the scope is unverifiable and the
+// checker stays silent rather than guessing.
+func TestCrossPackageFacts(t *testing.T) {
+	testdata := filepath.Join("..", "testdata")
+	count := func(withFacts bool) int {
+		n := 0
+		for _, f := range analysistest.Findings(t, testdata, Analyzer, "vmprim/internal/apps/cv", withFacts) {
+			if strings.Contains(f.Message, "carries tag 4") {
+				n++
+			}
+		}
+		return n
+	}
+	if got := count(true); got != 1 {
+		t.Errorf("with facts: got %d RelaySkew findings, want 1", got)
+	}
+	if got := count(false); got != 0 {
+		t.Errorf("without facts: got %d RelaySkew findings, want 0 (unverifiable scopes must stay silent)", got)
+	}
+}
+
+// TestProtocolRoundTrip pins the fact wire format: marshal → parse →
+// marshal must be the identity on a protocol exercising every IR
+// construct.
+func TestProtocolRoundTrip(t *testing.T) {
+	inner := &protocol{
+		params: []string{"$1"},
+		body: []stmt{
+			&opStmt{kind: opSend, dim: constE(0), tag: varE("$1")},
+			&retStmt{},
+		},
+	}
+	inner.comm, inner.p2p = scan(inner.body)
+	p := &protocol{
+		body: []stmt{
+			&ifStmt{
+				cond: binE(token.EQL, binE(token.AND, &expr{kind: eID}, constE(1)), constE(0)),
+				then: []stmt{&opStmt{kind: opExchange, dim: constE(0), tag: constE(7)}},
+				els:  []stmt{&opStmt{kind: opRecv, dim: constE(0), tag: unE(token.SUB, constE(7))}},
+			},
+			&forStmt{v: "v1", from: constE(0), to: &expr{kind: eDim}, incl: false, body: []stmt{
+				&opStmt{kind: opExchangeAll, dims: []*expr{varE("v1")}, tag: constE(3)},
+			}},
+			&opStmt{kind: opColl, name: "Bcast", mask: constE(3), tag: constE(4), root: constE(0)},
+			&callStmt{callee: inner, args: []*expr{constE(9)}},
+		},
+	}
+	p.comm, p.p2p = scan(p.body)
+
+	once := marshalProtocol(p)
+	parsed, err := parseProtocol(once, 0)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", once, err)
+	}
+	twice := marshalProtocol(parsed)
+	if once != twice {
+		t.Errorf("round trip not stable:\n once: %s\ntwice: %s", once, twice)
+	}
+	if !parsed.comm || !parsed.p2p {
+		t.Errorf("parsed protocol lost its comm/p2p summary: comm=%v p2p=%v", parsed.comm, parsed.p2p)
+	}
+}

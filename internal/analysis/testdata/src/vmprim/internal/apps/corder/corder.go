@@ -92,6 +92,45 @@ func LoopFroth(p *hypercube.Proc, data []float64) {
 	collective.Bcast(p, 3, 9, 0, data)
 }
 
+// FanByRank: the all-port dimension list is built per element, and one
+// element reads the rank — the taint walk descends into the composite
+// literal, so the whole "dims" argument is identity-derived.
+func FanByRank(p *hypercube.Proc, payloads [][]float64) {
+	p.ExchangeAll([]int{0, p.ID() & 1}, 2, payloads) // want `ExchangeAll argument "dims" derives from processor identity`
+}
+
+// FanVarByRank: the same bug laundered through a local variable; the
+// assignment fixpoint carries the taint to the dims slice.
+func FanVarByRank(p *hypercube.Proc, payloads [][]float64) {
+	dims := []int{p.ID() % 2, 1}
+	p.ExchangeAll(dims, 2, payloads) // want `ExchangeAll argument "dims" derives from processor identity`
+}
+
+// FanDiverge: both arms fan out over all-port exchanges, but the
+// dimension lists differ, so the event sequences cannot be equal.
+func FanDiverge(p *hypercube.Proc, payloads [][]float64) {
+	if p.ID()&1 == 0 { // want `communication sequence diverges`
+		p.ExchangeAll([]int{0, 1}, 2, payloads)
+	} else {
+		p.ExchangeAll([]int{1, 2}, 2, payloads)
+	}
+}
+
+// FanUniform is fine: a constant dimension list, per-element payloads.
+func FanUniform(p *hypercube.Proc, payloads [][]float64) {
+	p.ExchangeAll([]int{0, 1, 2}, 2, payloads)
+}
+
+// FanSymmetric is fine: the arms agree on every structural argument of
+// the all-port exchange; only the payload slices differ.
+func FanSymmetric(p *hypercube.Proc, payloads [][]float64) {
+	if p.ID() == 0 {
+		p.ExchangeAll([]int{0, 1}, 4, payloads[:1])
+	} else {
+		p.ExchangeAll([]int{0, 1}, 4, payloads[1:])
+	}
+}
+
 // OwnerSwitch is fine: the owner-subcube idiom leads with an untainted
 // "replicate everywhere" guard; the tainted tail cases perform no
 // communication, so the arms cannot fall out of step.

@@ -102,6 +102,34 @@ func capturedRecv(p *hypercube.Proc, wantTag int) {
 	p.Recycle(got)
 }
 
+// predicted feeds a buffer-derived size into the critical-path
+// predictor. SpanPredict is pure instrumentation — a borrow, not an
+// origin and not a discharge — so the Recycle is still what closes
+// the obligation.
+func predicted(p *hypercube.Proc) {
+	buf := p.GetBuf(64)
+	p.SpanPredict(float64(len(buf)))
+	p.Compute(len(buf))
+	p.Recycle(buf)
+}
+
+// predictedLeak proves SpanPredict is not mistaken for a hand-off:
+// without the Recycle the obligation stands.
+func predictedLeak(p *hypercube.Proc) {
+	buf := p.GetBuf(64) // want `buffer "buf" from GetBuf is never recycled`
+	p.SpanPredict(float64(cap(buf)))
+	p.SpanNote("predicted from buffer capacity")
+}
+
+// snapshotCaptured hands a critpath snapshot of the buffer to the
+// flight recorder: Capture keeps the (resliced) backing array for the
+// post-mortem, so the capture itself is the discharge.
+func snapshotCaptured(p *hypercube.Proc, n int) {
+	buf := p.GetBuf(n)
+	p.SpanNote("capturing conformance snapshot")
+	p.Capture(buf[:n/2])
+}
+
 // pinned documents a deliberate leak with a suppression directive.
 func pinned(p *hypercube.Proc) {
 	//lint:allow recyclecheck the scratch buffer is pinned for the lifetime of the run on purpose

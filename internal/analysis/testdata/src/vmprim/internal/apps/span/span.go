@@ -127,6 +127,40 @@ func closureChecked(p *hypercube.Proc) func() {
 	} // want `function ends with 1 span\(s\) still open`
 }
 
+// instrumented is a conformance-instrumented span: SpanPredict and
+// SpanNote annotate the open span without touching the depth counter,
+// so the balance proof sees only the Begin/End pair.
+func instrumented(p *hypercube.Proc, n int) {
+	p.BeginSpan("op")
+	p.SpanPredict(float64(n))
+	p.Compute(n)
+	p.SpanNote("conformance checkpoint")
+	p.EndSpan()
+}
+
+// instrumentedDefer mixes instrumentation with the deferred-close
+// idiom, including a predict after an early-return guard.
+func instrumentedDefer(p *hypercube.Proc, n int) {
+	p.BeginSpan("op")
+	defer p.EndSpan()
+	if n == 0 {
+		return
+	}
+	p.SpanPredict(float64(n))
+	p.Compute(n)
+}
+
+// instrumentedLeak proves instrumentation does not mask the check: a
+// predicted span left open is still an unbalanced exit.
+func instrumentedLeak(p *hypercube.Proc, n int, bad bool) {
+	p.BeginSpan("op")
+	p.SpanPredict(float64(n))
+	if bad {
+		return // want `return leaves 1 span\(s\) open on this path`
+	}
+	p.EndSpan()
+}
+
 // panicPath: a panic aborts the run, so the open span is moot.
 func panicPath(p *hypercube.Proc, bad bool) {
 	p.BeginSpan("op")

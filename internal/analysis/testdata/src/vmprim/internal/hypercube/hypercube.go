@@ -10,7 +10,9 @@ type Proc struct{}
 
 func (p *Proc) ID() int                                        { return 0 }
 func (p *Proc) Dim() int                                       { return 0 }
+func (p *Proc) P() int                                         { return 0 }
 func (p *Proc) FullMask() int                                  { return 0 }
+func (p *Proc) Neighbor(d int) int                             { return 0 }
 func (p *Proc) GetBuf(n int) []float64                         { return nil }
 func (p *Proc) Recycle(buf []float64)                          {}
 func (p *Proc) Send(d, tag int, words []float64)               {}
@@ -23,6 +25,8 @@ func (p *Proc) Barrier(mask, tag int) {}
 func (p *Proc) Capture(buf []float64) {}
 func (p *Proc) BeginSpan(name string) {}
 func (p *Proc) EndSpan()              {}
+func (p *Proc) SpanPredict(t float64) {}
+func (p *Proc) SpanNote(note string)  {}
 func (p *Proc) Compute(flops int)     {}
 func (p *Proc) Profiling() bool       { return false }
 

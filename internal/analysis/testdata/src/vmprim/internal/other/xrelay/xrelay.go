@@ -1,0 +1,29 @@
+// Package xrelay exercises commverify's cross-package protocol facts:
+// each half of a one-hop relay lives behind an exported function, so
+// an importer's pairing can only be verified if the summaries flow.
+package xrelay
+
+import "vmprim/internal/hypercube"
+
+// HopSend pushes data one hop along dim 0 from even ranks.
+func HopSend(p *hypercube.Proc, tag int, data []float64) {
+	if p.ID()&1 == 0 {
+		p.Send(0, tag, data)
+	}
+}
+
+// HopRecv receives the hop on odd ranks.
+func HopRecv(p *hypercube.Proc, tag int) []float64 {
+	if p.ID()&1 == 1 {
+		return p.Recv(0, tag)
+	}
+	return nil
+}
+
+// Scramble communicates in a way the protocol IR cannot express (a
+// data-dependent dimension from a float), so the fact must record it
+// as opaque and importers must stay silent about scopes that call it.
+func Scramble(p *hypercube.Proc, x []float64) {
+	d := int(x[0])
+	p.Send(d, 1, x)
+}

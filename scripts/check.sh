@@ -35,6 +35,13 @@ fi
 go vet ./...
 go build ./...
 
+# Static allocation gate: the compiler's escape analysis must not
+# report new heap escapes in the hot-path packages (hypercube,
+# collective, core, flightrec) relative to the committed baseline.
+# The dynamic AllocsPerRun guards only see the paths the benchmarks
+# drive; this sees every function the compiler does.
+./scripts/allocgate.sh
+
 # vmlint: the repo's own analyzers (SPMD symmetry, span balance,
 # buffer ownership, determinism). Build the tool once, then lint
 # before spending time on tests — a lint finding is file:line:col
