@@ -2,7 +2,6 @@ package bench
 
 import (
 	"fmt"
-	"strings"
 
 	"vmprim/internal/apps"
 	"vmprim/internal/core"
@@ -21,6 +20,11 @@ import (
 // tables — the profiler only observes, never perturbs — and the
 // obs tests assert exactly that by running each workload with enable
 // set both ways.
+//
+// Each workload is parameterized by a RunSpec (see spec.go): the
+// defaults reproduce the tables, while serving and load-harness
+// callers override the cube dimension and problem size and run on
+// machines they own (typically pooled) via RunSpec.RunOn.
 
 // profileTraceLimit bounds the per-processor message trace kept for
 // the Chrome export's flow events. Only processor 0 and its neighbors
@@ -38,7 +42,8 @@ type ProfileOpts struct {
 	// path and the cost-model conformance report.
 	CritPath bool
 	// Params overrides the machine's cost model; nil means the tables'
-	// default CM2.
+	// default CM2. RunSpec.RunOn ignores it (the caller built the
+	// machine); it applies when ProfileRunOpts constructs one.
 	Params *costmodel.Params
 }
 
@@ -67,8 +72,10 @@ type ProfileResult struct {
 	// at every GOMAXPROCS.
 	CritPath *obs.CritPath
 	// Metrics is the machine's metrics snapshot after the workload:
-	// cumulative counters over every run the workload executed, plus
-	// the last run's gauges. Always populated.
+	// cumulative counters over every run the machine ever executed,
+	// plus the last run's gauges. Always populated. On a fresh machine
+	// this is exactly the workload's own metrics; on a pooled machine,
+	// subtract a pre-run snapshot with metrics.Delta to isolate them.
 	Metrics *metrics.Snapshot
 }
 
@@ -88,48 +95,27 @@ func ProfileRun(id string, enable bool) (*ProfileResult, error) {
 // ProfileRunOpts is ProfileRun with the recording switches and cost
 // model spelled out.
 func ProfileRunOpts(id string, opts ProfileOpts) (*ProfileResult, error) {
-	switch strings.ToUpper(id) {
-	case "E1":
-		return profileE1(opts)
-	case "E2":
-		return profileE2(opts)
-	case "E3":
-		return profileE3(opts)
-	case "E4":
-		return profileE4(opts)
-	case "E5":
-		return profileE5(opts)
-	default:
-		return nil, fmt.Errorf("bench: no profiled workload for %q (have %v)", id, ProfileIDs())
+	spec, err := RunSpec{Exp: id}.Normalized()
+	if err != nil {
+		return nil, err
 	}
-}
-
-// newProfiledMachine builds the machine every profiled workload runs
-// on, with the recorders opts asks for armed.
-func newProfiledMachine(d int, opts ProfileOpts) (*hypercube.Machine, error) {
 	params := costmodel.CM2()
 	if opts.Params != nil {
 		params = *opts.Params
 	}
-	m, err := hypercube.New(d, params)
+	m, err := hypercube.New(spec.D, params)
 	if err != nil {
 		return nil, err
 	}
-	if opts.Profile {
-		m.EnableProfile(true)
-		m.EnableTrace(profileTraceLimit)
-	}
-	if opts.CritPath {
-		m.EnableCritPath(true)
-	}
-	return m, nil
+	defer m.Close()
+	return spec.RunOn(m, opts)
 }
 
 // finish assembles the result, pulling the machine's profile and
 // critical path of the most recent run when their recorders were on.
-func finish(id, desc string, m *hypercube.Machine, opts ProfileOpts, times ...costmodel.Time) *ProfileResult {
+func finish(s RunSpec, desc string, m *hypercube.Machine, opts ProfileOpts, times ...costmodel.Time) *ProfileResult {
 	res := &ProfileResult{
-		ID: id, Desc: desc, Times: times,
+		ID: s.Exp, Desc: desc, Times: times,
 		Clocks:  m.Clocks(),
 		Links:   m.Congestion(0),
 		Metrics: m.Metrics().Snapshot(),
@@ -144,13 +130,9 @@ func finish(id, desc string, m *hypercube.Machine, opts ProfileOpts, times ...co
 }
 
 // profileE1 exercises all four primitives back to back in a single
-// run on the E1 table's n=512, d=10 configuration.
-func profileE1(opts ProfileOpts) (*ProfileResult, error) {
-	const d, n = 10, 512
-	m, err := newProfiledMachine(d, opts)
-	if err != nil {
-		return nil, err
-	}
+// run; the table configuration is n=512 on the d=10 cube.
+func profileE1(m *hypercube.Machine, s RunSpec, opts ProfileOpts) (*ProfileResult, error) {
+	d, n := s.D, s.N
 	g := embed.SplitFor(d, n, n)
 	a, err := core.FromDense(g, RandMat(100+int64(n), n, n), embed.Block, embed.Block)
 	if err != nil {
@@ -170,17 +152,14 @@ func profileE1(opts ProfileOpts) (*ProfileResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish("E1", "extract+insert+distribute+reduce, n=512, p=1024", m, opts, elapsed), nil
+	desc := fmt.Sprintf("extract+insert+distribute+reduce, n=%d, p=%d", n, 1<<d)
+	return finish(s, desc, m, opts, elapsed), nil
 }
 
-// profileE2 runs the E2 Reduce and Distribute pair at n=512 on the
-// d=8 machine.
-func profileE2(opts ProfileOpts) (*ProfileResult, error) {
-	const d, n = 8, 512
-	m, err := newProfiledMachine(d, opts)
-	if err != nil {
-		return nil, err
-	}
+// profileE2 runs the E2 Reduce and Distribute pair; the table
+// configuration is n=512 on the d=8 machine.
+func profileE2(m *hypercube.Machine, s RunSpec, opts ProfileOpts) (*ProfileResult, error) {
+	d, n := s.D, s.N
 	g := embed.SplitFor(d, n, n)
 	a, err := core.FromDense(g, RandMat(300+int64(d), n, n), embed.Block, embed.Block)
 	if err != nil {
@@ -197,18 +176,16 @@ func profileE2(opts ProfileOpts) (*ProfileResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finish("E2", "reduce+spread, n=512, p=256", m, opts, elapsed), nil
+	desc := fmt.Sprintf("reduce+spread, n=%d, p=%d", n, 1<<d)
+	return finish(s, desc, m, opts, elapsed), nil
 }
 
-// profileE3 runs the three vector-matrix variants at n=512 on the
-// d=10 machine; the profile is of the last (naive) run, whose span
-// tree shows the router storm the primitives avoid.
-func profileE3(opts ProfileOpts) (*ProfileResult, error) {
-	const d, n = 10, 512
-	m, err := newProfiledMachine(d, opts)
-	if err != nil {
-		return nil, err
-	}
+// profileE3 runs the three vector-matrix variants; the table
+// configuration is n=512 on the d=10 machine. The profile is of the
+// last (naive) run, whose span tree shows the router storm the
+// primitives avoid.
+func profileE3(m *hypercube.Machine, s RunSpec, opts ProfileOpts) (*ProfileResult, error) {
+	d, n := s.D, s.N
 	a := RandMat(500+int64(n), n, n)
 	x := RandVec(600+int64(n), n)
 	var times []costmodel.Time
@@ -219,37 +196,33 @@ func profileE3(opts ProfileOpts) (*ProfileResult, error) {
 		}
 		times = append(times, elapsed)
 	}
-	return finish("E3", "matvec primitive, fused, naive, n=512, p=1024", m, opts, times...), nil
+	desc := fmt.Sprintf("matvec primitive, fused, naive, n=%d, p=%d", n, 1<<d)
+	return finish(s, desc, m, opts, times...), nil
 }
 
-// profileE4 runs the E4 table's n=128 primitive-based Gaussian
-// elimination on the d=8 machine.
-func profileE4(opts ProfileOpts) (*ProfileResult, error) {
-	const d, n = 8, 128
-	m, err := newProfiledMachine(d, opts)
-	if err != nil {
-		return nil, err
-	}
+// profileE4 runs primitive-based Gaussian elimination; the table
+// configuration is n=128 on the d=8 machine.
+func profileE4(m *hypercube.Machine, s RunSpec, opts ProfileOpts) (*ProfileResult, error) {
+	d, n := s.D, s.N
 	a, b := RandSystem(700+int64(n), n)
 	_, elapsed, err := apps.SolveGauss(m, a, b, apps.DefaultGaussOpts())
 	if err != nil {
 		return nil, err
 	}
-	return finish("E4", "gauss primitives, n=128, p=256", m, opts, elapsed), nil
+	desc := fmt.Sprintf("gauss primitives, n=%d, p=%d", n, 1<<d)
+	return finish(s, desc, m, opts, elapsed), nil
 }
 
-// profileE5 runs the E5 table's 32x48 primitive-based simplex on the
-// d=8 machine.
-func profileE5(opts ProfileOpts) (*ProfileResult, error) {
-	const d, rows, cols = 8, 32, 48
-	m, err := newProfiledMachine(d, opts)
-	if err != nil {
-		return nil, err
-	}
+// profileE5 runs primitive-based simplex on an N x 3N/2 program; the
+// table configuration is 32x48 on the d=8 machine.
+func profileE5(m *hypercube.Machine, s RunSpec, opts ProfileOpts) (*ProfileResult, error) {
+	d, rows := s.D, s.N
+	cols := rows + rows/2
 	c, a, b := RandLP(800+int64(rows), rows, cols)
 	_, elapsed, err := apps.SolveSimplex(m, c, a, b, apps.DefaultSimplexOpts())
 	if err != nil {
 		return nil, err
 	}
-	return finish("E5", "simplex primitives, 32x48, p=256", m, opts, elapsed), nil
+	desc := fmt.Sprintf("simplex primitives, %dx%d, p=%d", rows, cols, 1<<d)
+	return finish(s, desc, m, opts, elapsed), nil
 }

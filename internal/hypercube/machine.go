@@ -154,6 +154,10 @@ type Machine struct {
 	profile     *obs.Profile
 	vols        map[int]map[int]int
 
+	// stream is the live event sink armed with EnableStream (see
+	// stream.go), nil when streaming is off.
+	stream obs.StreamSink
+
 	// Critical-path state (see critpath.go): critEnabled gates chain
 	// recording for the next Run, crit holds the last recorded path,
 	// confThreshold the conformance flagging ratio (0 means
@@ -185,12 +189,13 @@ type engine struct {
 // parallelizes across host cores and every Proc field stays
 // single-writer).
 type runCtx struct {
-	body  func(*Proc)
-	procs []*Proc
-	abort chan struct{}
-	errs  chan procError
-	prof  bool
-	crit  bool
+	body   func(*Proc)
+	procs  []*Proc
+	abort  chan struct{}
+	errs   chan procError
+	prof   bool
+	crit   bool
+	stream obs.StreamSink
 
 	wg        sync.WaitGroup
 	abortOnce sync.Once
@@ -407,6 +412,7 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 	}
 	rc.prof = m.profEnabled
 	rc.crit = m.critEnabled
+	rc.stream = m.stream
 	rc.wg.Add(m.p)
 	for pid := 0; pid < m.p; pid++ {
 		// The per-run Proc reset happens on the worker goroutine
@@ -466,6 +472,9 @@ func (m *Machine) Run(body func(*Proc)) (costmodel.Time, error) {
 	m.vols = nil // link counters changed; LinkVolumes rebuilds lazily
 	m.mu.Unlock()
 	m.collectTrace(m.procs)
+	if rc.stream != nil {
+		m.emitRunSummary(rc.stream, float64(elapsed))
+	}
 
 	// The critical path is built on success and on failure alike: a
 	// failed run's chain up to the death rides along in the
@@ -565,6 +574,11 @@ func (p *Proc) resetForRun(rc *runCtx) {
 	if p.prof || len(p.ps.nodes) > 0 {
 		p.ps.reset()
 	}
+	p.stream = nil
+	if rc.stream != nil && p.prof && p.id == 0 {
+		p.stream = rc.stream
+	}
+	p.streamClosed = 0
 	p.crit = rc.crit
 	if p.crit {
 		p.cpReset()
@@ -666,6 +680,12 @@ type Proc struct {
 	// set (see profile.go).
 	prof bool
 	ps   profState
+
+	// Live event sink (see stream.go), non-nil only on processor 0 of
+	// a streamed profiled run; streamClosed counts closed spans for
+	// the periodic progress events.
+	stream       obs.StreamSink
+	streamClosed int64
 
 	// Critical-path chain state, active only under EnableCritPath:
 	// crit gates the hot-path hooks, cp is the encoded

@@ -1,0 +1,125 @@
+package hypercube
+
+import (
+	"sync"
+	"testing"
+
+	"vmprim/internal/costmodel"
+)
+
+func TestMachinePoolHitMissEvict(t *testing.T) {
+	mp := NewMachinePool(2)
+	defer mp.Close()
+	k4 := PoolKey{Dim: 2, Params: costmodel.CM2()}
+	k8 := PoolKey{Dim: 3, Params: costmodel.CM2()}
+	kIpsc := PoolKey{Dim: 2, Params: costmodel.IPSC()}
+
+	m1, hit, err := mp.Acquire(k4)
+	if err != nil || hit {
+		t.Fatalf("first acquire: hit=%v err=%v, want miss", hit, err)
+	}
+	if m1.Dim() != 2 {
+		t.Fatalf("acquired dim %d, want 2", m1.Dim())
+	}
+	mp.Release(k4, m1)
+
+	// Same key: must hand back the identical machine.
+	m2, hit, err := mp.Acquire(k4)
+	if err != nil || !hit {
+		t.Fatalf("second acquire: hit=%v err=%v, want hit", hit, err)
+	}
+	if m2 != m1 {
+		t.Fatalf("pool returned a different machine for the same key")
+	}
+
+	// Same dim, different cost params: distinct configuration, miss.
+	m3, hit, err := mp.Acquire(kIpsc)
+	if err != nil || hit {
+		t.Fatalf("ipsc acquire: hit=%v err=%v, want miss", hit, err)
+	}
+
+	// Fill past capacity: k4 (released first) must be evicted, the
+	// two most recent keys retained.
+	m4, _, err := mp.Acquire(k8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp.Release(k4, m2)
+	mp.Release(kIpsc, m3)
+	mp.Release(k8, m4)
+
+	st := mp.Stats()
+	if st.Evictions != 1 || st.Idle != 2 {
+		t.Fatalf("stats after overflow: %+v, want 1 eviction, 2 idle", st)
+	}
+	if _, hit, _ := mp.Acquire(k4); hit {
+		t.Fatalf("evicted key still hit the pool")
+	}
+	if _, hit, _ := mp.Acquire(kIpsc); !hit {
+		t.Fatalf("recently released key missed the pool")
+	}
+	if _, hit, _ := mp.Acquire(k8); !hit {
+		t.Fatalf("most recently released key missed the pool")
+	}
+	st = mp.Stats()
+	if st.Hits != 3 || st.Misses != 4 {
+		t.Fatalf("final stats %+v, want 3 hits / 4 misses", st)
+	}
+}
+
+// Pooled machines must still run correctly after a round trip, and the
+// pool must tolerate concurrent acquire/release traffic.
+func TestMachinePoolConcurrentRuns(t *testing.T) {
+	mp := NewMachinePool(2)
+	defer mp.Close()
+	key := PoolKey{Dim: 2, Params: costmodel.CM2()}
+
+	ref, _, err := mp.Acquire(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := runPing(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp.Release(key, ref)
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				m, _, err := mp.Acquire(key)
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := runPing(m)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got != want {
+					t.Errorf("pooled run elapsed %v, want %v", got, want)
+				}
+				mp.Release(key, m)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// runPing exchanges one word along dimension 0 and returns the
+// simulated elapsed time (deterministic for a given cost model).
+func runPing(m *Machine) (costmodel.Time, error) {
+	return m.Run(func(p *Proc) {
+		got := p.Exchange(0, 1, []float64{float64(p.ID())})
+		p.Recycle(got)
+	})
+}

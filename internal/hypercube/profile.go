@@ -125,6 +125,9 @@ func (p *Proc) BeginSpan(name string) {
 		parent = ps.stack[n-1].node
 	}
 	node := ps.findOrAddNode(parent, name)
+	if p.stream != nil {
+		p.emitSpanOpen(name, len(ps.stack))
+	}
 	ps.stack = append(ps.stack, spanFrame{
 		node:  node,
 		begin: p.clock,
@@ -159,6 +162,9 @@ func (p *Proc) EndSpan() {
 	a.flops += p.nFlops - f.flops
 	if profInstProc(p.id) {
 		ps.inst = append(ps.inst, obs.Instance{Node: f.node, Begin: f.begin, End: p.clock})
+	}
+	if p.stream != nil {
+		p.emitSpanClose(ps.nodes[f.node].name, n-1)
 	}
 	ps.stack = ps.stack[:n-1]
 	if n > 1 {

@@ -1,0 +1,152 @@
+package hypercube
+
+import (
+	"testing"
+
+	"vmprim/internal/costmodel"
+	"vmprim/internal/obs"
+)
+
+// streamWorkload runs a small multi-collective SPMD program: a few
+// spans around exchanges, enough traffic to produce link events.
+func streamWorkload(p *Proc) {
+	for step := 0; step < 3; step++ {
+		p.BeginSpan("phase")
+		for d := 0; d < p.Dim(); d++ {
+			p.BeginSpan("exchange")
+			got := p.Exchange(d, 9, []float64{float64(p.ID()), 1, 2, 3})
+			p.Recycle(got)
+			p.EndSpan()
+		}
+		p.EndSpan()
+	}
+}
+
+func TestStreamEventsWellFormed(t *testing.T) {
+	m := MustNew(3, costmodel.CM2())
+	defer m.Close()
+	m.EnableProfile(true)
+	var events []obs.StreamEvent
+	m.EnableStream(func(ev obs.StreamEvent) { events = append(events, ev) })
+	elapsed, err := m.Run(streamWorkload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no stream events emitted")
+	}
+
+	opens, closes, links, progress := 0, 0, 0, 0
+	depth := 0
+	lastVT := -1.0
+	for i, ev := range events {
+		if ev.VTUs < lastVT && ev.Kind != obs.EvLink {
+			t.Fatalf("event %d (%s) vt %.1f went backwards from %.1f", i, ev.Kind, ev.VTUs, lastVT)
+		}
+		if ev.Kind != obs.EvLink {
+			lastVT = ev.VTUs
+		}
+		switch ev.Kind {
+		case obs.EvSpanOpen:
+			if ev.Depth != depth {
+				t.Fatalf("event %d: span %q opened at depth %d, tracker says %d", i, ev.Name, ev.Depth, depth)
+			}
+			depth++
+			opens++
+		case obs.EvSpanClose:
+			depth--
+			if ev.Depth != depth {
+				t.Fatalf("event %d: span %q closed at depth %d, tracker says %d", i, ev.Name, ev.Depth, depth)
+			}
+			closes++
+		case obs.EvLink:
+			if ev.Words <= 0 {
+				t.Fatalf("event %d: link event with %d words", i, ev.Words)
+			}
+			links++
+		case obs.EvProgress:
+			progress++
+		default:
+			t.Fatalf("event %d: unknown kind %q", i, ev.Kind)
+		}
+	}
+	// 3 phases x (1 phase span + dim exchange spans) on processor 0.
+	wantSpans := 3 * (1 + m.Dim())
+	if opens != wantSpans || closes != wantSpans {
+		t.Fatalf("streamed %d opens / %d closes, want %d each", opens, closes, wantSpans)
+	}
+	if links == 0 {
+		t.Fatal("no link-congestion events at end of run")
+	}
+	if links > streamLinkTopK {
+		t.Fatalf("%d link events exceed the top-%d bound", links, streamLinkTopK)
+	}
+	if progress == 0 {
+		t.Fatal("no progress event (run summary must always emit one)")
+	}
+	if events[len(events)-links-1].Kind != obs.EvProgress {
+		t.Fatalf("expected final progress mark before link census, got %q", events[len(events)-links-1].Kind)
+	}
+	if got := events[len(events)-links-1].VTUs; got != float64(elapsed) {
+		t.Fatalf("final progress vt %.1f, want elapsed %.1f", got, float64(elapsed))
+	}
+}
+
+// Streaming must not perturb the simulation: elapsed time, clocks and
+// link loads are bit-identical with the sink attached or not.
+func TestStreamDoesNotPerturbSim(t *testing.T) {
+	run := func(sink obs.StreamSink) (costmodel.Time, []costmodel.Time) {
+		m := MustNew(3, costmodel.CM2())
+		defer m.Close()
+		m.EnableProfile(true)
+		m.EnableStream(sink)
+		elapsed, err := m.Run(streamWorkload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return elapsed, m.Clocks()
+	}
+	e1, c1 := run(nil)
+	n := 0
+	e2, c2 := run(func(obs.StreamEvent) { n++ })
+	if n == 0 {
+		t.Fatal("sink never called")
+	}
+	if e1 != e2 {
+		t.Fatalf("streamed elapsed %v != unstreamed %v", e2, e1)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("proc %d clock differs streamed vs not: %v vs %v", i, c2[i], c1[i])
+		}
+	}
+}
+
+// Without profiling, span events stay off but the run summary still
+// streams; detaching the sink stops emission entirely.
+func TestStreamGating(t *testing.T) {
+	m := MustNew(2, costmodel.CM2())
+	defer m.Close()
+	var events []obs.StreamEvent
+	m.EnableStream(func(ev obs.StreamEvent) { events = append(events, ev) })
+	if _, err := m.Run(streamWorkload); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range events {
+		if ev.Kind == obs.EvSpanOpen || ev.Kind == obs.EvSpanClose {
+			t.Fatalf("span event %q streamed with profiling off", ev.Name)
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("run summary missing with profiling off")
+	}
+
+	m.EnableStream(nil)
+	events = nil
+	if _, err := m.Run(streamWorkload); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("%d events streamed after detaching the sink", len(events))
+	}
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Snapshot algebra for the serving layer. A pooled machine's registry
+// is cumulative over every run it has ever executed, so a single run's
+// metrics are Delta(after, before) around that run; the server's
+// /metrics endpoint is Merge over the per-run deltas plus its own
+// serving registry. Both operate on immutable snapshots, never on live
+// registries, so they need no locking and cannot perturb the source.
+
+// Merge folds snapshots into one: counters and histogram buckets sum,
+// gauges take the last snapshot's value (most recent wins), and
+// metrics keep first-seen order. Merging the same name with different
+// types or histogram bucket layouts panics — that is a registry-layout
+// bug, not a data condition.
+func Merge(snaps ...*Snapshot) *Snapshot {
+	out := &Snapshot{}
+	index := make(map[string]int)
+	for _, s := range snaps {
+		if s == nil {
+			continue
+		}
+		for i := range s.Metrics {
+			m := &s.Metrics[i]
+			j, seen := index[m.Name]
+			if !seen {
+				index[m.Name] = len(out.Metrics)
+				out.Metrics = append(out.Metrics, cloneMetric(m))
+				continue
+			}
+			acc := &out.Metrics[j]
+			if acc.Type != m.Type {
+				panic(fmt.Sprintf("metrics: Merge %s: type %s vs %s", m.Name, acc.Type, m.Type))
+			}
+			switch m.Type {
+			case "counter":
+				acc.Value += m.Value
+			case "gauge":
+				acc.Value = m.Value
+			case "histogram":
+				if len(acc.Buckets) != len(m.Buckets) {
+					panic(fmt.Sprintf("metrics: Merge %s: %d vs %d buckets", m.Name, len(acc.Buckets), len(m.Buckets)))
+				}
+				for b := range m.Buckets {
+					if acc.Buckets[b].Le != m.Buckets[b].Le {
+						panic(fmt.Sprintf("metrics: Merge %s: bucket %d bound %g vs %g",
+							m.Name, b, acc.Buckets[b].Le, m.Buckets[b].Le))
+					}
+					acc.Buckets[b].Count += m.Buckets[b].Count
+				}
+				acc.Sum += m.Sum
+				acc.Count += m.Count
+			}
+			if acc.Help == "" {
+				acc.Help = m.Help
+			}
+		}
+	}
+	return out
+}
+
+// Delta returns after minus before, metric by metric: counter values
+// and histogram buckets subtract (clamped at zero, so a reset between
+// snapshots degrades to "since reset" rather than a negative count),
+// gauges carry after's value unchanged. Metrics present only in after
+// pass through whole; metrics present only in before are dropped. Both
+// snapshots are left untouched.
+func Delta(after, before *Snapshot) *Snapshot {
+	out := &Snapshot{}
+	if after == nil {
+		return out
+	}
+	prev := make(map[string]*MetricValue)
+	if before != nil {
+		for i := range before.Metrics {
+			prev[before.Metrics[i].Name] = &before.Metrics[i]
+		}
+	}
+	for i := range after.Metrics {
+		m := cloneMetric(&after.Metrics[i])
+		if b, ok := prev[m.Name]; ok && b.Type == m.Type {
+			switch m.Type {
+			case "counter":
+				m.Value = math.Max(0, m.Value-b.Value)
+			case "histogram":
+				if len(b.Buckets) == len(m.Buckets) {
+					for j := range m.Buckets {
+						m.Buckets[j].Count = max64(0, m.Buckets[j].Count-b.Buckets[j].Count)
+					}
+					m.Sum -= b.Sum
+					m.Count = max64(0, m.Count-b.Count)
+				}
+			}
+		}
+		out.Metrics = append(out.Metrics, m)
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the named
+// histogram by linear interpolation inside the owning cumulative
+// bucket, the same estimate Prometheus's histogram_quantile computes.
+// Observations in the +Inf bucket clamp to the largest finite bound.
+// The second result is false if the name is missing, is not a
+// histogram, or has no observations.
+func (s *Snapshot) Quantile(name string, q float64) (float64, bool) {
+	var m *MetricValue
+	for i := range s.Metrics {
+		if s.Metrics[i].Name == name {
+			m = &s.Metrics[i]
+			break
+		}
+	}
+	if m == nil || m.Type != "histogram" || m.Count == 0 || len(m.Buckets) == 0 {
+		return 0, false
+	}
+	q = math.Min(1, math.Max(0, q))
+	rank := q * float64(m.Count)
+	for i, b := range m.Buckets {
+		if float64(b.Count) < rank {
+			continue
+		}
+		if math.IsInf(b.Le, 1) {
+			// No finite upper edge to interpolate toward; clamp to the
+			// largest finite bound (or 0 for a single +Inf bucket).
+			if i == 0 {
+				return 0, true
+			}
+			return m.Buckets[i-1].Le, true
+		}
+		lower, prevCum := 0.0, int64(0)
+		if i > 0 {
+			lower = m.Buckets[i-1].Le
+			prevCum = m.Buckets[i-1].Count
+		}
+		inBucket := b.Count - prevCum
+		if inBucket == 0 {
+			return b.Le, true
+		}
+		return lower + (b.Le-lower)*(rank-float64(prevCum))/float64(inBucket), true
+	}
+	// Unreachable for well-formed snapshots (last bucket holds Count),
+	// but degrade gracefully.
+	return m.Buckets[len(m.Buckets)-1].Le, true
+}
+
+// cloneMetric deep-copies one metric so snapshot algebra never aliases
+// its inputs' bucket slices.
+func cloneMetric(m *MetricValue) MetricValue {
+	c := *m
+	if m.Buckets != nil {
+		c.Buckets = append([]BucketCount(nil), m.Buckets...)
+	}
+	return c
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

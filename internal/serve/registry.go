@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vmprim/internal/bench"
+	"vmprim/internal/flightrec"
+	"vmprim/internal/metrics"
+)
+
+// The run registry: every submitted workload becomes a Run with a
+// server-assigned ID, and the registry keeps finished runs — results,
+// per-run metric deltas, post-mortems — addressable until capacity
+// pressure evicts them. Queued and running runs are never evicted;
+// only the done/failed backlog is bounded, oldest-completed first, and
+// the registry remembers evicted IDs so the API can distinguish "this
+// run existed and aged out" from "never heard of it".
+
+// RunState is a run's lifecycle phase.
+type RunState string
+
+const (
+	StateQueued  RunState = "queued"
+	StateRunning RunState = "running"
+	StateDone    RunState = "done"
+	StateFailed  RunState = "failed"
+)
+
+// Run is one submitted workload and, once executed, its artifacts.
+// Fields under mu change as the run progresses; everything else is
+// written once before the run is published.
+type Run struct {
+	// ID is the server-assigned identifier, "r-000001" onward.
+	ID string
+	// Spec is the normalized workload descriptor.
+	Spec bench.RunSpec
+	// Submitted is the wall-clock arrival time (serving metadata only —
+	// simulated artifacts carry no host time).
+	Submitted time.Time
+
+	// bcast fans live stream events out to /events subscribers.
+	bcast *broadcaster
+	// done is closed when the run reaches a terminal state.
+	done chan struct{}
+
+	mu      sync.Mutex
+	state   RunState
+	err     string
+	poolHit bool
+	// result is the profiled run; nil until done (and on failures that
+	// died before producing one).
+	result *bench.ProfileResult
+	// runMetrics is this run's own metrics: the machine registry delta
+	// around the run, so pooled-machine reuse does not leak earlier
+	// tenants' counters into it.
+	runMetrics *metrics.Snapshot
+	// postmortem is the flight-recorder report of a failed run.
+	postmortem *flightrec.Report
+}
+
+// newRun builds a queued run around a normalized spec.
+func newRun(id string, spec bench.RunSpec, now time.Time) *Run {
+	return &Run{
+		ID:        id,
+		Spec:      spec,
+		Submitted: now,
+		bcast:     newBroadcaster(),
+		done:      make(chan struct{}),
+		state:     StateQueued,
+	}
+}
+
+// State returns the run's current lifecycle phase.
+func (r *Run) State() RunState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// terminal reports whether the run has finished (done or failed).
+func (r *Run) terminal() bool {
+	st := r.State()
+	return st == StateDone || st == StateFailed
+}
+
+// setRunning marks the run as executing and records whether its
+// machine came out of the pool warm.
+func (r *Run) setRunning(poolHit bool) {
+	r.mu.Lock()
+	r.state = StateRunning
+	r.poolHit = poolHit
+	r.mu.Unlock()
+}
+
+// complete publishes the run's terminal state and artifacts, closes
+// the event stream and wakes every waiter. Idempotence is not needed:
+// exactly one executor owns the run.
+func (r *Run) complete(res *bench.ProfileResult, runMetrics *metrics.Snapshot, pm *flightrec.Report, err error) {
+	r.mu.Lock()
+	if err != nil {
+		r.state = StateFailed
+		r.err = err.Error()
+	} else {
+		r.state = StateDone
+	}
+	r.result = res
+	r.runMetrics = runMetrics
+	r.postmortem = pm
+	r.mu.Unlock()
+	r.bcast.close()
+	close(r.done)
+}
+
+// artifacts returns the run's terminal payload (any field may be nil).
+func (r *Run) artifacts() (*bench.ProfileResult, *metrics.Snapshot, *flightrec.Report) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.result, r.runMetrics, r.postmortem
+}
+
+// registry holds runs by ID and bounds the finished backlog.
+type registry struct {
+	mu     sync.Mutex
+	retain int
+	seq    int64
+	runs   map[string]*Run
+	// finished is completion order, oldest first; its head is evicted
+	// when the backlog exceeds retain.
+	finished []string
+	evicted  map[string]bool
+}
+
+func newRegistry(retain int) *registry {
+	if retain < 1 {
+		retain = 1
+	}
+	return &registry{
+		retain:  retain,
+		runs:    make(map[string]*Run),
+		evicted: make(map[string]bool),
+	}
+}
+
+// add registers a new queued run under a fresh ID.
+func (g *registry) add(spec bench.RunSpec, now time.Time) *Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq++
+	r := newRun(fmt.Sprintf("r-%06d", g.seq), spec, now)
+	g.runs[r.ID] = r
+	return r
+}
+
+// get looks a run up; evicted reports a formerly retained ID.
+func (g *registry) get(id string) (r *Run, evicted bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.runs[id], g.evicted[id]
+}
+
+// list returns every retained run, submission (ID) order.
+func (g *registry) list() []*Run {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Run, 0, len(g.runs))
+	for i := int64(1); i <= g.seq && len(out) < len(g.runs); i++ {
+		if r, ok := g.runs[fmt.Sprintf("r-%06d", i)]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// markFinished enters a terminal run into the bounded backlog and
+// evicts beyond the retention cap, returning how many runs fell out.
+func (g *registry) markFinished(id string) (evictions int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.finished = append(g.finished, id)
+	for len(g.finished) > g.retain {
+		victim := g.finished[0]
+		g.finished = g.finished[1:]
+		delete(g.runs, victim)
+		g.evicted[victim] = true
+		evictions++
+	}
+	return evictions
+}
+
+// counts returns (retained, finished) run counts for the scrape-time
+// gauges.
+func (g *registry) counts() (retained, finished int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.runs), len(g.finished)
+}

@@ -139,62 +139,7 @@ cmp "$tmpdir/critpath-gmp1.json" "$tmpdir/critpath-ncpu.json" || {
 	echo "critical path differs between GOMAXPROCS 1 and NumCPU" >&2
 	exit 1
 }
-python3 - "$tmpdir/critpath-ncpu.json" scripts/critpath_schema.json <<'PYEOF'
-import json, sys
-
-doc = json.load(open(sys.argv[1]))
-schema = json.load(open(sys.argv[2]))
-defs = schema.get("definitions", {})
-
-def fail(path, msg):
-    raise SystemExit("critpath schema: %s: %s" % (path or "/", msg))
-
-def check(doc, sch, path=""):
-    if "$ref" in sch:
-        sch = defs[sch["$ref"].rsplit("/", 1)[1]]
-    t = sch.get("type")
-    if t == "object":
-        if not isinstance(doc, dict):
-            fail(path, "expected object, got %s" % type(doc).__name__)
-        for key in sch.get("required", []):
-            if key not in doc:
-                fail(path, "missing required key %r" % key)
-        props = sch.get("properties", {})
-        for key, val in doc.items():
-            if key in props:
-                check(val, props[key], path + "/" + key)
-            elif sch.get("additionalProperties") is False:
-                fail(path, "unexpected key %r" % key)
-    elif t == "array":
-        if not isinstance(doc, list):
-            fail(path, "expected array, got %s" % type(doc).__name__)
-        for i, item in enumerate(doc):
-            check(item, sch.get("items", {}), "%s[%d]" % (path, i))
-    elif t == "integer":
-        if not isinstance(doc, int) or isinstance(doc, bool):
-            fail(path, "expected integer, got %r" % doc)
-    elif t == "number":
-        if not isinstance(doc, (int, float)) or isinstance(doc, bool):
-            fail(path, "expected number, got %r" % doc)
-    elif t == "string":
-        if not isinstance(doc, str):
-            fail(path, "expected string, got %r" % doc)
-    elif t == "boolean":
-        if not isinstance(doc, bool):
-            fail(path, "expected boolean, got %r" % doc)
-    if "enum" in sch and doc not in sch["enum"]:
-        fail(path, "%r not one of %s" % (doc, sch["enum"]))
-    if "minimum" in sch and isinstance(doc, (int, float)) \
-            and not isinstance(doc, bool) and doc < sch["minimum"]:
-        fail(path, "%r below minimum %s" % (doc, sch["minimum"]))
-
-check(doc, schema)
-total = sum(doc["buckets_us"].values())
-assert abs(total - doc["makespan_us"]) == 0, \
-    "path weights %r do not sum to makespan %r" % (total, doc["makespan_us"])
-print("critpath: schema ok; makespan %.1f us over %d procs, %d conformance entries" %
-      (doc["makespan_us"], doc["p"], len(doc["conformance"]["entries"])))
-PYEOF
+python3 scripts/critpath_schema_check.py "$tmpdir/critpath-ncpu.json" scripts/critpath_schema.json
 
 # Continuous-benchmark gate, now a GOMAXPROCS sweep: a fresh
 # 1-iteration host run at GOMAXPROCS 1, 2, 4 and NumCPU must reproduce
@@ -212,5 +157,116 @@ go run ./cmd/benchdiff -old BENCH_2.json:gate -new "$tmpdir/bench-fresh.json" \
 # GOMAXPROCS=NumCPU (of the recording host) must not regress beyond
 # 20% versus GOMAXPROCS=1 — parallelism must never be a slowdown.
 go run ./cmd/benchdiff -sweep BENCH_3.json
+
+# vmprimd smoke gate: the served observability plane must hand out the
+# SAME simulated documents the CLI writes. Start the server, submit the
+# E1 profile workload over HTTP, and byte-compare the served profile,
+# Chrome trace and critical-path JSON against a direct `vmprim
+# -profile E1` run — once with the server and CLI at GOMAXPROCS=1 and
+# once at the host default — then validate the served critpath against
+# the committed schema, check the per-run metrics match modulo the
+# host-nondeterministic scheduler counters, drive a vmload mini-burst,
+# and require a clean SIGTERM shutdown.
+go build -o "$tmpdir/vmprimd" ./cmd/vmprimd
+go build -o "$tmpdir/vmprim-cli" ./cmd/vmprim
+go build -o "$tmpdir/vmload" ./cmd/vmload
+
+vmprimd_pass() { # $1: pass name; $2: GOMAXPROCS value ("" = host default)
+	pass=$1
+	gmp=${2:-}
+	pdir="$tmpdir/vmprimd-$pass"
+	mkdir -p "$pdir"
+	rm -f "$pdir/addr"
+	GOMAXPROCS=$gmp "$tmpdir/vmprimd" -addr 127.0.0.1:0 -addr-file "$pdir/addr" \
+		-workers 1 2>"$pdir/server.log" &
+	srv_pid=$!
+	for _ in $(seq 100); do
+		[ -s "$pdir/addr" ] && break
+		sleep 0.1
+	done
+	addr=$(cat "$pdir/addr")
+	run_id=$(curl -sf -X POST "http://$addr/runs" -d '{"exp":"E1"}' \
+		| python3 -c 'import json,sys; print(json.load(sys.stdin)["id"])')
+	state=$(curl -sf "http://$addr/runs/$run_id/wait?timeout=300s" \
+		| python3 -c 'import json,sys; print(json.load(sys.stdin)["state"])')
+	[ "$state" = "done" ] || { echo "vmprimd($pass): run ended $state" >&2; exit 1; }
+	curl -sf "http://$addr/runs/$run_id/profile" >"$pdir/profile.json"
+	curl -sf "http://$addr/runs/$run_id/trace" >"$pdir/trace.json"
+	curl -sf "http://$addr/runs/$run_id/critpath" >"$pdir/critpath.json"
+	curl -sf "http://$addr/runs/$run_id/metrics" >"$pdir/metrics.json"
+	curl -sfi "http://$addr/metrics" >"$pdir/scrape.txt"
+	grep -qi '^content-type: text/plain; version=0.0.4' "$pdir/scrape.txt" || {
+		echo "vmprimd($pass): /metrics Content-Type is not the 0.0.4 exposition" >&2
+		exit 1
+	}
+	grep -q '^vmprimd_runs_done_total 1$' "$pdir/scrape.txt" || {
+		echo "vmprimd($pass): scrape did not count the finished run" >&2
+		exit 1
+	}
+
+	GOMAXPROCS=$gmp "$tmpdir/vmprim-cli" -profile E1 -json \
+		-trace-out "$pdir/cli-trace.json" -critpath-out "$pdir/cli-critpath.json" \
+		-metrics-out "$pdir/cli-metrics.json" >"$pdir/cli-profile.json" 2>/dev/null
+	for artifact in profile trace critpath; do
+		cmp "$pdir/$artifact.json" "$pdir/cli-$artifact.json" || {
+			echo "vmprimd($pass): served $artifact differs from the CLI document" >&2
+			exit 1
+		}
+	done
+	python3 scripts/critpath_schema_check.py "$pdir/critpath.json" scripts/critpath_schema.json
+	python3 - "$pdir/metrics.json" "$pdir/cli-metrics.json" <<'PYEOF'
+import json, sys
+# Host-scheduler and watchdog counters depend on goroutine interleaving
+# by design; everything else in the per-run metrics is simulated truth
+# and must match the CLI's fresh-machine snapshot exactly.
+sched = {
+    "vmprim_sched_recv_parks_total", "vmprim_sched_send_stalls_total",
+    "vmprim_sched_wakeups_total", "vmprim_sched_max_parked_procs",
+    "vmprim_watchdog_arms_total", "vmprim_watchdog_rearms_total",
+}
+def load(p):
+    doc = json.load(open(p))
+    return {m["name"]: m for m in doc["metrics"] if m["name"] not in sched}
+served, cli = load(sys.argv[1]), load(sys.argv[2])
+assert served.keys() == cli.keys(), \
+    "metric sets differ: %s" % sorted(served.keys() ^ cli.keys())
+for name in served:
+    assert served[name] == cli[name], \
+        "metric %s: served %r != cli %r" % (name, served[name], cli[name])
+print("served per-run metrics: %d metrics identical to the CLI snapshot" % len(served))
+PYEOF
+
+	kill -TERM "$srv_pid"
+	wait "$srv_pid" || { echo "vmprimd($pass): nonzero exit on SIGTERM" >&2; exit 1; }
+	grep -q 'clean shutdown' "$pdir/server.log" || {
+		echo "vmprimd($pass): no clean shutdown line in server log" >&2
+		exit 1
+	}
+	echo "vmprimd($pass): served E1 artifacts byte-identical to CLI; clean shutdown"
+}
+
+vmprimd_pass gmp1 1
+vmprimd_pass ncpu ""
+cmp "$tmpdir/vmprimd-gmp1/profile.json" "$tmpdir/vmprimd-ncpu/profile.json" || {
+	echo "served profile differs between GOMAXPROCS 1 and NumCPU" >&2
+	exit 1
+}
+
+# vmload mini-burst: concurrent submissions against an in-process
+# server must all complete. The committed BENCH_4.json records the
+# full 1000-run session; this keeps the harness itself gated.
+"$tmpdir/vmload" -runs 60 -c 8 -out "$tmpdir/bench4-smoke.json" 2>/dev/null
+python3 - "$tmpdir/bench4-smoke.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+res = doc["results"]
+assert res["completed"] == 60 and res["failed"] == 0, \
+    "vmload smoke: %d/%d completed" % (res["completed"], 60)
+lat = res["latency_us"]
+assert 0 < lat["p50"] <= lat["p95"] <= lat["p99"], "percentiles not ordered: %s" % lat
+assert sum(res["histogram_counts"][-1:]) == 60, "histogram +Inf bucket != count"
+print("vmload smoke: 60/60 runs, p50 %.0fus p95 %.0fus p99 %.0fus" %
+      (lat["p50"], lat["p95"], lat["p99"]))
+PYEOF
 
 echo "check.sh: all clean"

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Validate a critical-path JSON document against the committed schema.
+
+Usage: critpath_schema_check.py <critpath.json> <critpath_schema.json>
+
+Used by scripts/check.sh for both the CLI-written document and the one
+vmprimd serves: downstream tooling parses these files, so both paths
+must stay on schema. Also asserts the semantic invariant the schema
+cannot express: the bucket weights sum exactly to the makespan.
+"""
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+schema = json.load(open(sys.argv[2]))
+defs = schema.get("definitions", {})
+
+
+def fail(path, msg):
+    raise SystemExit("critpath schema: %s: %s" % (path or "/", msg))
+
+
+def check(doc, sch, path=""):
+    if "$ref" in sch:
+        sch = defs[sch["$ref"].rsplit("/", 1)[1]]
+    t = sch.get("type")
+    if t == "object":
+        if not isinstance(doc, dict):
+            fail(path, "expected object, got %s" % type(doc).__name__)
+        for key in sch.get("required", []):
+            if key not in doc:
+                fail(path, "missing required key %r" % key)
+        props = sch.get("properties", {})
+        for key, val in doc.items():
+            if key in props:
+                check(val, props[key], path + "/" + key)
+            elif sch.get("additionalProperties") is False:
+                fail(path, "unexpected key %r" % key)
+    elif t == "array":
+        if not isinstance(doc, list):
+            fail(path, "expected array, got %s" % type(doc).__name__)
+        for i, item in enumerate(doc):
+            check(item, sch.get("items", {}), "%s[%d]" % (path, i))
+    elif t == "integer":
+        if not isinstance(doc, int) or isinstance(doc, bool):
+            fail(path, "expected integer, got %r" % doc)
+    elif t == "number":
+        if not isinstance(doc, (int, float)) or isinstance(doc, bool):
+            fail(path, "expected number, got %r" % doc)
+    elif t == "string":
+        if not isinstance(doc, str):
+            fail(path, "expected string, got %r" % doc)
+    elif t == "boolean":
+        if not isinstance(doc, bool):
+            fail(path, "expected boolean, got %r" % doc)
+    if "enum" in sch and doc not in sch["enum"]:
+        fail(path, "%r not one of %s" % (doc, sch["enum"]))
+    if "minimum" in sch and isinstance(doc, (int, float)) \
+            and not isinstance(doc, bool) and doc < sch["minimum"]:
+        fail(path, "%r below minimum %s" % (doc, sch["minimum"]))
+
+
+check(doc, schema)
+total = sum(doc["buckets_us"].values())
+assert abs(total - doc["makespan_us"]) == 0, \
+    "path weights %r do not sum to makespan %r" % (total, doc["makespan_us"])
+print("critpath: schema ok; makespan %.1f us over %d procs, %d conformance entries" %
+      (doc["makespan_us"], doc["p"], len(doc["conformance"]["entries"])))

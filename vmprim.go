@@ -127,6 +127,40 @@ type (
 	MetricsSnapshot = metrics.Snapshot
 )
 
+// Live event streaming and machine pooling (internal/obs,
+// internal/hypercube) — the pieces cmd/vmprimd's serving plane is
+// built from, exported for embedders running their own.
+// Machine.EnableStream attaches a StreamSink that receives
+// span-open/span-close, progress and link-congestion events as a
+// profiled run executes; a MachinePool keeps warm machines across
+// runs, keyed by (dimension, cost parameters).
+type (
+	// StreamEvent is one live observability event from a running
+	// machine; Kind is one of the Ev* constants.
+	StreamEvent = obs.StreamEvent
+	// StreamSink consumes StreamEvents; it is called from machine
+	// worker goroutines and must return quickly.
+	StreamSink = obs.StreamSink
+	// MachinePool is a bounded LRU of idle machines.
+	MachinePool = hypercube.MachinePool
+	// PoolKey identifies one machine configuration within a pool.
+	PoolKey = hypercube.PoolKey
+	// PoolStats summarizes a pool's hit/miss/eviction traffic.
+	PoolStats = hypercube.PoolStats
+)
+
+// Stream event kinds.
+const (
+	EvSpanOpen  = obs.EvSpanOpen
+	EvSpanClose = obs.EvSpanClose
+	EvProgress  = obs.EvProgress
+	EvLink      = obs.EvLink
+)
+
+// NewMachinePool returns a pool retaining up to capacity idle
+// machines; Acquire either reuses a pooled machine or builds one.
+func NewMachinePool(capacity int) *MachinePool { return hypercube.NewMachinePool(capacity) }
+
 // SetDefaultRecvTimeout changes the deadlock-watchdog timeout applied
 // to machines created afterwards; d <= 0 restores the built-in
 // default (hypercube.DefaultRecvTimeout, 30s). Existing machines keep
