@@ -1,4 +1,4 @@
-// Command vmlint runs the repository's static-analysis suite: six
+// Command vmlint runs the repository's static-analysis suite: nine
 // analyzers that enforce at compile time the invariants the simulator
 // otherwise only checks (or fails to check) at run time.
 //
@@ -17,11 +17,23 @@
 //	                model-checked on cubes up to d=4, and unmatched
 //	                sends, tag mismatches, and cyclic waits are
 //	                reported with a counterexample schedule
+//	lockdiscipline  in the host-concurrent packages (the serving
+//	                plane), mutexes balance Lock/Unlock on every
+//	                path, are never re-acquired on a path that holds
+//	                them, and guard no blocking operation
+//	goroutinelife   every go statement in those packages carries a
+//	                termination obligation: a done-channel select, a
+//	                WaitGroup pairing, or a reasoned //lint:allow
+//	chanprotocol    channels have a single closing owner, no path
+//	                sends on a channel another path closed, and
+//	                go/defer closures in loops do not capture
+//	                variables the loop keeps writing
 //
-// A seventh, collectives, runs implicitly: it summarizes which
-// functions perform collectives and which return identity-derived
-// values, and exports those summaries as package facts so spmdsym,
-// collorder and commverify see through package boundaries.
+// Two more run implicitly: collectives summarizes which functions
+// perform collectives and which return identity-derived values, and
+// hostconc summarizes which functions may block and which mutexes
+// they acquire. Both export their summaries as package facts so the
+// diagnostic analyzers see through package boundaries.
 //
 // Usage, standalone:
 //
@@ -61,6 +73,10 @@ import (
 	"vmprim/internal/analysis/collorder"
 	"vmprim/internal/analysis/commverify"
 	"vmprim/internal/analysis/framework"
+	"vmprim/internal/analysis/hostconc"
+	"vmprim/internal/analysis/hostconc/chanprotocol"
+	"vmprim/internal/analysis/hostconc/goroutinelife"
+	"vmprim/internal/analysis/hostconc/lockdiscipline"
 	"vmprim/internal/analysis/recyclecheck"
 	"vmprim/internal/analysis/simdeterminism"
 	"vmprim/internal/analysis/spanbalance"
@@ -75,6 +91,10 @@ func analyzers() []*framework.Analyzer {
 		collorder.Analyzer,
 		simdeterminism.Analyzer,
 		commverify.Analyzer,
+		hostconc.Analyzer,
+		lockdiscipline.Analyzer,
+		goroutinelife.Analyzer,
+		chanprotocol.Analyzer,
 	}
 }
 

@@ -3,6 +3,9 @@ package main
 import (
 	"encoding/json"
 	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
 	"testing"
 
 	"vmprim/internal/analysis/framework"
@@ -45,14 +48,80 @@ func TestFindingsJSON(t *testing.T) {
 	if string(empty) != "[]" {
 		t.Errorf("clean run must encode as [], got %s", empty)
 	}
+
+	// The hostconc family rides the same wire: a lockdiscipline finding
+	// with its defer-Unlock fix serializes with the analyzer name CI
+	// keys annotations on.
+	hc, err := json.Marshal(findingsJSON([]framework.Finding{{
+		Analyzer: "lockdiscipline",
+		Pos:      token.Position{Filename: "sse.go", Line: 42, Column: 2},
+		Message:  "function ends with b.mu still locked (Lock without a matching Unlock)",
+		Fixes:    []framework.SuggestedFix{{Message: "defer the matching Unlock"}},
+	}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHC := `[{"file":"sse.go","line":42,"col":2,"analyzer":"lockdiscipline",` +
+		`"message":"function ends with b.mu still locked (Lock without a matching Unlock)",` +
+		`"fix":"defer the matching Unlock"}]`
+	if string(hc) != wantHC {
+		t.Errorf("hostconc wire shape drifted:\n got: %s\nwant: %s", hc, wantHC)
+	}
+}
+
+// TestProblemMatcherCoversAnalyzers proves the CI problem matcher's
+// regexp captures every registered analyzer's findings — the analyzer
+// names are the `code` capture group, so an all-lowercase name is part
+// of each analyzer's contract.
+func TestProblemMatcherCoversAnalyzers(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", ".github", "vmlint-problem-matcher.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var matcher struct {
+		ProblemMatcher []struct {
+			Pattern []struct {
+				Regexp string `json:"regexp"`
+				Code   int    `json:"code"`
+			} `json:"pattern"`
+		} `json:"problemMatcher"`
+	}
+	if err := json.Unmarshal(data, &matcher); err != nil {
+		t.Fatal(err)
+	}
+	if len(matcher.ProblemMatcher) != 1 || len(matcher.ProblemMatcher[0].Pattern) != 1 {
+		t.Fatalf("unexpected matcher shape: %s", data)
+	}
+	pat := matcher.ProblemMatcher[0].Pattern[0]
+	re, err := regexp.Compile(pat.Regexp)
+	if err != nil {
+		t.Fatalf("matcher regexp does not compile: %v", err)
+	}
+	for _, a := range analyzers() {
+		line := framework.Finding{
+			Analyzer: a.Name,
+			Pos:      token.Position{Filename: "internal/serve/sse.go", Line: 7, Column: 3},
+			Message:  "sample finding",
+		}.String()
+		m := re.FindStringSubmatch(line)
+		if m == nil {
+			t.Errorf("matcher does not capture %s finding: %q", a.Name, line)
+			continue
+		}
+		if m[pat.Code] != a.Name {
+			t.Errorf("matcher code group captured %q, want %q in %q", m[pat.Code], a.Name, line)
+		}
+	}
 }
 
 // TestAnalyzerRoster guards the registration list: every analyzer the
-// docs promise, exactly once, commverify included.
+// docs promise, exactly once, the hostconc family included.
 func TestAnalyzerRoster(t *testing.T) {
 	want := map[string]bool{
 		"recyclecheck": false, "spanbalance": false, "spmdsym": false,
 		"collorder": false, "simdeterminism": false, "commverify": false,
+		"hostconc": false, "lockdiscipline": false, "goroutinelife": false,
+		"chanprotocol": false,
 	}
 	for _, a := range analyzers() {
 		seen, ok := want[a.Name]

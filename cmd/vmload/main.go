@@ -133,6 +133,7 @@ func main() {
 			os.Exit(2)
 		}
 		hs := &http.Server{Handler: srv.Handler()}
+		//lint:allow goroutinelife Serve returns when the deferred hs.Close closes the listener at process exit
 		go hs.Serve(ln)
 		defer hs.Close()
 		base = "http://" + ln.Addr().String()

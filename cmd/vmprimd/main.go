@@ -82,6 +82,7 @@ func run(addr, addrFile string, opts serve.Options) error {
 	srv := serve.New(opts)
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errCh := make(chan error, 1)
+	//lint:allow goroutinelife Serve returns when Close/Shutdown below closes the listener, and errCh is buffered so the send never blocks
 	go func() { errCh <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "vmprimd: serving on http://%s (workers %d, retain %d, pool %d)\n",
 		bound, opts.Workers, opts.RetainRuns, opts.PoolMachines)

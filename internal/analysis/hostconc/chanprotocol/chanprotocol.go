@@ -1,0 +1,431 @@
+// Package chanprotocol enforces the channel ownership discipline of
+// the host-concurrent packages:
+//
+//   - single-owner close: no path closes a channel a previous point of
+//     the same function may already have closed (double close panics),
+//     and no close of a loop-independent channel sits inside a loop
+//     (the second iteration panics);
+//   - no send on a channel *any* path has closed — the state is the
+//     union over branches, matching the runtime's worst case (send on
+//     a closed channel panics);
+//   - no go/defer closure inside a loop capturing a variable the loop
+//     body keeps writing: the goroutine's read races with later
+//     iterations, and a deferred closure observes only the final
+//     value. (Per-iteration loop variables — Go ≥ 1.22 semantics —
+//     and variables written only inside the closure itself are fine;
+//     the cure is passing the value as an argument.)
+//
+// The close/send walk is path-sensitive and intra-procedural: channel
+// identity is the receiver-expression text, branch joins take the
+// union of closed sets, return/panic/break end a path, and
+// reassigning a channel variable (ch = make(...)) revives it. The
+// single-owner convention keeps the serving plane analyzable this way
+// — the broadcaster closes subscriber channels only under its own
+// mutex after removing them from the map, the registry's Run closes
+// done exactly once in complete.
+package chanprotocol
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vmprim/internal/analysis/framework"
+	"vmprim/internal/analysis/hostconc"
+	"vmprim/internal/analysis/vmlib"
+)
+
+// Analyzer is the chanprotocol entry point.
+var Analyzer = &framework.Analyzer{
+	Name: "chanprotocol",
+	Doc:  "check close ownership, sends on closed channels and loop-captured variables in go/defer closures",
+	Run:  run,
+}
+
+func run(pass *framework.Pass) (any, error) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hostconc.InDiagScope(pass, fn.Pos()) {
+				continue
+			}
+			checkFunc(pass, fn.Body)
+			checkCaptures(pass, fn.Body)
+			// Function literals get their own independent close walk: a
+			// closure's closes are its own protocol.
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFunc(pass, lit.Body)
+					checkCaptures(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// closedSet is the set of channel keys some path may have closed.
+type closedSet map[string]bool
+
+func (c closedSet) clone() closedSet {
+	out := make(closedSet, len(c))
+	for k := range c {
+		out[k] = true
+	}
+	return out
+}
+
+func (c closedSet) union(o closedSet) {
+	for k := range o {
+		c[k] = true
+	}
+}
+
+// cwalker carries the per-function close/send walk.
+type cwalker struct {
+	pass *framework.Pass
+	// loops holds the enclosing loop nodes, for deciding whether a
+	// closed channel's identity depends on the iteration.
+	loops []ast.Node
+}
+
+func checkFunc(pass *framework.Pass, body *ast.BlockStmt) {
+	hasGoto := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if b, ok := n.(*ast.BranchStmt); ok && b.Tok.String() == "goto" {
+			hasGoto = true
+		}
+		return true
+	})
+	if hasGoto {
+		return
+	}
+	w := &cwalker{pass: pass}
+	w.walkStmts(body.List, closedSet{})
+}
+
+// walkStmts walks a statement list, mutating and returning the closed
+// set, plus whether control cannot fall off the end.
+func (w *cwalker) walkStmts(stmts []ast.Stmt, set closedSet) (closedSet, bool) {
+	for _, s := range stmts {
+		var diverged bool
+		set, diverged = w.walkStmt(s, set)
+		if diverged {
+			return set, true
+		}
+	}
+	return set, false
+}
+
+func (w *cwalker) walkStmt(s ast.Stmt, set closedSet) (closedSet, bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if ch, ok := w.closeArg(call); ok {
+				key := types.ExprString(ch)
+				if set[key] {
+					w.pass.Reportf(call.Pos(), "close of %s, which an earlier point on this path may already have closed (a second close panics)", key)
+				}
+				if len(w.loops) > 0 && !w.loopDependent(ch) {
+					w.pass.Reportf(call.Pos(), "close of %s inside a loop runs on every iteration (the second close panics)", key)
+				}
+				set[key] = true
+				return set, false
+			}
+			if vmlib.IsPanicCall(w.pass.TypesInfo, call) {
+				return set, true
+			}
+		}
+		return set, false
+
+	case *ast.SendStmt:
+		key := types.ExprString(s.Chan)
+		if set[key] {
+			w.pass.Reportf(s.Arrow, "send on %s, which some path may already have closed (a send on a closed channel panics)", key)
+		}
+		return set, false
+
+	case *ast.AssignStmt:
+		// Reassigning a channel variable revives it.
+		for _, lhs := range s.Lhs {
+			delete(set, types.ExprString(lhs))
+		}
+		return set, false
+
+	case *ast.ReturnStmt:
+		return set, true
+
+	case *ast.BranchStmt:
+		if s.Tok.String() == "fallthrough" {
+			return set, false
+		}
+		// break/continue leave this statement list; the loop join
+		// below already unions body outcomes conservatively.
+		return set, true
+
+	case *ast.BlockStmt:
+		return w.walkStmts(s.List, set)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			set, _ = w.walkStmt(s.Init, set)
+		}
+		thenSet, thenDiv := w.walkStmts(s.Body.List, set.clone())
+		elseSet, elseDiv := set.clone(), false
+		if s.Else != nil {
+			elseSet, elseDiv = w.walkStmt(s.Else, set.clone())
+		}
+		switch {
+		case thenDiv && elseDiv:
+			return set, true
+		case thenDiv:
+			return elseSet, false
+		case elseDiv:
+			return thenSet, false
+		default:
+			thenSet.union(elseSet)
+			return thenSet, false
+		}
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkBranches(s, set)
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			set, _ = w.walkStmt(s.Init, set)
+		}
+		w.loops = append(w.loops, s)
+		bodySet, _ := w.walkStmts(s.Body.List, set.clone())
+		w.loops = w.loops[:len(w.loops)-1]
+		set.union(bodySet)
+		return set, false
+
+	case *ast.RangeStmt:
+		w.loops = append(w.loops, s)
+		bodySet, _ := w.walkStmts(s.Body.List, set.clone())
+		w.loops = w.loops[:len(w.loops)-1]
+		set.union(bodySet)
+		return set, false
+
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, set)
+
+	case *ast.GoStmt, *ast.DeferStmt:
+		return set, false // the closure's closes happen later, on its own walk
+
+	default:
+		return set, false
+	}
+}
+
+// walkBranches handles switch/select: each case walks from a copy and
+// the result is the union of the non-diverged outcomes (plus the
+// fall-through when there is no default).
+func (w *cwalker) walkBranches(s ast.Stmt, set closedSet) (closedSet, bool) {
+	var bodies [][]ast.Stmt
+	hasDefault := false
+	var commStmts []ast.Stmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			bodies = append(bodies, cc.Body)
+			hasDefault = hasDefault || cc.List == nil
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			bodies = append(bodies, cc.Body)
+			hasDefault = hasDefault || cc.List == nil
+		}
+	case *ast.SelectStmt:
+		hasDefault = true // a select runs exactly one case; no fall-through
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				commStmts = append(commStmts, cc.Comm)
+			}
+			bodies = append(bodies, cc.Body)
+		}
+	}
+	// A select's comm sends are checked against the incoming set.
+	for _, cs := range commStmts {
+		if send, ok := cs.(*ast.SendStmt); ok {
+			if key := types.ExprString(send.Chan); set[key] {
+				w.pass.Reportf(send.Arrow, "send on %s, which some path may already have closed (a send on a closed channel panics)", key)
+			}
+		}
+	}
+	out := closedSet{}
+	any := false
+	allDiverge := len(bodies) > 0
+	for _, b := range bodies {
+		bset, div := w.walkStmts(stripTrailingBreak(b), set.clone())
+		if !div {
+			out.union(bset)
+			any = true
+			allDiverge = false
+		}
+	}
+	if !hasDefault {
+		out.union(set)
+		any = true
+		allDiverge = false
+	}
+	if allDiverge {
+		return set, true
+	}
+	if !any {
+		return set, false
+	}
+	return out, false
+}
+
+// closeArg returns the operand of a builtin close call.
+func (w *cwalker) closeArg(call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) != 1 {
+		return nil, false
+	}
+	b, ok := w.pass.TypesInfo.Uses[id].(*types.Builtin)
+	if !ok || b.Name() != "close" {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// loopDependent reports whether the channel expression involves an
+// identifier declared inside one of the enclosing loops (the range
+// variable, or a variable created per iteration) — in which case each
+// iteration closes a different channel and the loop close is fine.
+func (w *cwalker) loopDependent(ch ast.Expr) bool {
+	dep := false
+	ast.Inspect(ch, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := w.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Defs[id]
+		}
+		if obj == nil {
+			return true
+		}
+		for _, loop := range w.loops {
+			if obj.Pos() >= loop.Pos() && obj.Pos() <= loop.End() {
+				dep = true
+				return false
+			}
+		}
+		return true
+	})
+	return dep
+}
+
+func stripTrailingBreak(b []ast.Stmt) []ast.Stmt {
+	if n := len(b); n > 0 {
+		if br, ok := b[n-1].(*ast.BranchStmt); ok && br.Tok.String() == "break" && br.Label == nil {
+			return b[:n-1]
+		}
+	}
+	return b
+}
+
+// checkCaptures reports go/defer closures inside loops that read a
+// variable declared outside the loop while the loop body keeps
+// writing it outside the closure.
+func checkCaptures(pass *framework.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // inner literals run their own checkCaptures
+		}
+		var loopBody *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			loopBody = loop.Body
+		case *ast.RangeStmt:
+			loopBody = loop.Body
+		default:
+			return true
+		}
+		checkLoopCaptures(pass, n, loopBody)
+		return true
+	})
+}
+
+func checkLoopCaptures(pass *framework.Pass, loop ast.Node, body *ast.BlockStmt) {
+	// Variables the loop body writes outside any closure, declared
+	// outside the loop. (Per-iteration declarations and range
+	// variables are new objects each iteration under Go ≥ 1.22.)
+	writes := map[*types.Var]bool{}
+	recordWrite := func(e ast.Expr) {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		if obj == nil {
+			return
+		}
+		if obj.Pos() < loop.Pos() || obj.Pos() > loop.End() {
+			writes[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				recordWrite(lhs)
+			}
+		case *ast.IncDecStmt:
+			recordWrite(n.X)
+		}
+		return true
+	})
+	if len(writes) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		var lit *ast.FuncLit
+		var deferred bool
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			lit, _ = ast.Unparen(n.Call.Fun).(*ast.FuncLit)
+		case *ast.DeferStmt:
+			lit, _ = ast.Unparen(n.Call.Fun).(*ast.FuncLit)
+			deferred = true
+		default:
+			return true
+		}
+		if lit == nil {
+			return true
+		}
+		reported := map[*types.Var]bool{}
+		ast.Inspect(lit.Body, func(inner ast.Node) bool {
+			id, ok := inner.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, _ := pass.TypesInfo.Uses[id].(*types.Var)
+			if obj == nil || !writes[obj] || reported[obj] {
+				return true
+			}
+			reported[obj] = true
+			if deferred {
+				pass.Reportf(id.Pos(),
+					"deferred closure captures %s, which the loop keeps writing; every deferred call will observe only the final value — pass it as an argument instead", id.Name)
+			} else {
+				pass.Reportf(id.Pos(),
+					"go closure captures %s, which the loop body writes on every iteration; the goroutine's read races with later iterations — pass it as an argument instead", id.Name)
+			}
+			return true
+		})
+		return false // the literal's own loops run their own checkCaptures
+	})
+}

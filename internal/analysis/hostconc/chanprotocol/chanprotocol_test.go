@@ -1,0 +1,14 @@
+package chanprotocol_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"vmprim/internal/analysis/analysistest"
+	"vmprim/internal/analysis/hostconc/chanprotocol"
+)
+
+func TestChanProtocol(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "..", "testdata"), chanprotocol.Analyzer,
+		"vmprim/internal/serve/hcchan")
+}

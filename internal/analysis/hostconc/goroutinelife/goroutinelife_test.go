@@ -1,0 +1,46 @@
+package goroutinelife_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmprim/internal/analysis/analysistest"
+	"vmprim/internal/analysis/hostconc/goroutinelife"
+)
+
+func TestGoroutineLife(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "..", "testdata"), goroutinelife.Analyzer,
+		"vmprim/internal/serve/hcgo")
+}
+
+// TestSuppressionAudit: the reasoned //lint:allow over the real
+// daemon-lifetime goroutine survives as used, while the directive
+// whose leak was fixed is reported stale.
+func TestSuppressionAudit(t *testing.T) {
+	res, _ := analysistest.Result(t, filepath.Join("..", "..", "testdata"), goroutinelife.Analyzer,
+		"vmprim/internal/serve/hcallow", true)
+
+	if len(res.Findings) != 1 {
+		t.Fatalf("want exactly the stale-directive finding, got %v", res.Findings)
+	}
+	fd := res.Findings[0]
+	if fd.Analyzer != "directive" || !strings.Contains(fd.Message, "suppresses no diagnostic") {
+		t.Errorf("unexpected finding: %s", fd)
+	}
+
+	if len(res.Suppressions) != 2 {
+		t.Fatalf("want 2 audited suppressions, got %+v", res.Suppressions)
+	}
+	for _, s := range res.Suppressions {
+		if s.Analyzer != "goroutinelife" || s.Reason == "" {
+			t.Errorf("suppression missing analyzer or reason: %+v", s)
+		}
+	}
+	if !res.Suppressions[0].Used {
+		t.Errorf("directive over the real daemon goroutine should be audited used: %+v", res.Suppressions[0])
+	}
+	if res.Suppressions[1].Used {
+		t.Errorf("directive over the fixed goroutine should be audited stale: %+v", res.Suppressions[1])
+	}
+}

@@ -1,0 +1,227 @@
+package hostconc_test
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vmprim/internal/analysis/framework"
+	"vmprim/internal/analysis/hostconc"
+	"vmprim/internal/analysis/hostconc/goroutinelife"
+	"vmprim/internal/analysis/hostconc/lockdiscipline"
+)
+
+// These tests drive framework.RunUnit exactly the way `go vet
+// -vettool=vmlint` does — one process-shaped invocation per package
+// with hand-written cfg files — and prove that the seeded hostconc
+// violations are caught in vet mode too: the goroutine leak directly,
+// and the blocking-call-under-lock through a hostconc fact carried in
+// a dependency's vetx file.
+
+// vetCfg mirrors the JSON shape the go command writes for a vet unit
+// (the framework's own type is unexported; the protocol is the JSON).
+type vetCfg struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	PackageVetx map[string]string
+	VetxOnly    bool
+	VetxOutput  string
+}
+
+func writeCfg(t *testing.T, dir string, cfg vetCfg) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, cfg.ID+".cfg")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func hostconcAnalyzers() []*framework.Analyzer {
+	return []*framework.Analyzer{hostconc.Analyzer, lockdiscipline.Analyzer, goroutinelife.Analyzer}
+}
+
+// TestVetModeGoroutineLeak: an import-free unit with a seeded leak is
+// reported through the unit protocol.
+func TestVetModeGoroutineLeak(t *testing.T) {
+	tmp := t.TempDir()
+	src := `package hcvleak
+
+func Spin(ch chan int) {
+	go func() {
+		for {
+			_ = <-ch
+		}
+	}()
+}
+`
+	if err := os.WriteFile(filepath.Join(tmp, "leak.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := writeCfg(t, tmp, vetCfg{
+		ID: "hcvleak", Compiler: "gc", Dir: tmp,
+		ImportPath: "vmprim/internal/serve/hcvleak",
+		GoFiles:    []string{"leak.go"},
+	})
+	res, vetxOnly, err := framework.RunUnit(cfg, hostconcAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vetxOnly {
+		t.Fatal("leak unit: want findings, got vetxOnly")
+	}
+	if len(res.Findings) != 1 || res.Findings[0].Analyzer != "goroutinelife" ||
+		!strings.Contains(res.Findings[0].Message, "no termination obligation") {
+		t.Fatalf("want the seeded goroutine leak, got %v", res.Findings)
+	}
+}
+
+// stdExports asks the go command for the export data of a standard
+// package and its dependencies, as the vet driver would hand it over.
+func stdExports(t *testing.T, pkgs ...string) map[string]string {
+	t.Helper()
+	args := append([]string{"list", "-e", "-export", "-deps",
+		"-f", "{{.ImportPath}}\t{{.Export}}"}, pkgs...)
+	out, err := exec.Command("go", args...).Output()
+	if err != nil {
+		t.Skipf("go list -export unavailable: %v", err)
+	}
+	exports := make(map[string]string)
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		path, file, ok := strings.Cut(sc.Text(), "\t")
+		if ok && file != "" {
+			exports[path] = file
+		}
+	}
+	return exports
+}
+
+// TestVetModeSendUnderLockFacts: the dependency's may-block summary
+// travels through its vetx file; the importer's unit reports both the
+// direct send under the lock and the blocking call classified only by
+// the imported fact. Without the vetx handoff the fact-based finding
+// degrades away while the direct one survives.
+func TestVetModeSendUnderLockFacts(t *testing.T) {
+	tmp := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(tmp, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const depPath = "vmprim/internal/other/hcvdep"
+	write("dep.go", `package hcvdep
+
+func Drain(ch chan int) {
+	for range ch {
+	}
+}
+`)
+	write("main.go", `package hcvmain
+
+import (
+	"sync"
+
+	"vmprim/internal/other/hcvdep"
+)
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *box) bad() {
+	b.mu.Lock()
+	b.ch <- 1
+	hcvdep.Drain(b.ch)
+	b.mu.Unlock()
+}
+`)
+
+	// Compile the dependency so the importing unit can type-check, and
+	// collect the standard library's export data the same way the vet
+	// driver does.
+	depObj := filepath.Join(tmp, "hcvdep.a")
+	cmd := exec.Command("go", "tool", "compile", "-p", depPath, "-o", depObj, "dep.go")
+	cmd.Dir = tmp
+	if b, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go tool compile dep.go: %v\n%s", err, b)
+	}
+	pkgFiles := stdExports(t, "sync")
+	pkgFiles[depPath] = depObj
+
+	// Unit 1: the dependency, facts only.
+	depVetx := filepath.Join(tmp, "hcvdep.vetx")
+	cfgDep := writeCfg(t, tmp, vetCfg{
+		ID: "hcvdep", Compiler: "gc", Dir: tmp, ImportPath: depPath,
+		GoFiles: []string{"dep.go"}, VetxOnly: true, VetxOutput: depVetx,
+	})
+	res, vetxOnly, err := framework.RunUnit(cfgDep, hostconcAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vetxOnly || len(res.Findings) != 0 {
+		t.Fatalf("dep unit: want facts-only and no findings, got %v", res.Findings)
+	}
+
+	// Unit 2: the importer, handed the dependency's vetx.
+	cfgMain := writeCfg(t, tmp, vetCfg{
+		ID: "hcvmain", Compiler: "gc", Dir: tmp,
+		ImportPath:  "vmprim/internal/serve/hcvmain",
+		GoFiles:     []string{"main.go"},
+		ImportMap:   map[string]string{"sync": "sync", depPath: depPath},
+		PackageFile: pkgFiles,
+		PackageVetx: map[string]string{depPath: depVetx},
+	})
+	res, _, err = framework.RunUnit(cfgMain, hostconcAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawSend, sawCall bool
+	for _, f := range res.Findings {
+		if f.Analyzer != "lockdiscipline" {
+			t.Errorf("unexpected analyzer: %s", f)
+		}
+		if strings.Contains(f.Message, "a send on b.ch while b.mu is held") {
+			sawSend = true
+		}
+		if strings.Contains(f.Message, "a call to Drain, which may block (a range over channel ch) while b.mu is held") {
+			sawCall = true
+		}
+	}
+	if !sawSend || !sawCall || len(res.Findings) != 2 {
+		t.Fatalf("want the send and the fact-classified call under the lock, got %v", res.Findings)
+	}
+
+	// Control: without the vetx handoff the fact-based finding degrades
+	// away; the direct send is still caught.
+	cfgNoFacts := writeCfg(t, tmp, vetCfg{
+		ID: "hcvmain-nofacts", Compiler: "gc", Dir: tmp,
+		ImportPath:  "vmprim/internal/serve/hcvmain",
+		GoFiles:     []string{"main.go"},
+		ImportMap:   map[string]string{"sync": "sync", depPath: depPath},
+		PackageFile: pkgFiles,
+	})
+	res, _, err = framework.RunUnit(cfgNoFacts, hostconcAnalyzers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 1 || !strings.Contains(res.Findings[0].Message, "a send on b.ch") {
+		t.Fatalf("without facts: want only the direct send finding, got %v", res.Findings)
+	}
+}

@@ -33,3 +33,4 @@ func (p *Proc) Profiling() bool       { return false }
 type Machine struct{}
 
 func (m *Machine) Run(body func(p *Proc)) (float64, error) { return 0, nil }
+func (m *Machine) Close()                                  {}

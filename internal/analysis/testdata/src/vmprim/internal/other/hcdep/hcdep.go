@@ -1,0 +1,27 @@
+// Package hcdep lies outside the hostconc family's diagnostic scope:
+// nothing here is ever reported. Its summaries — WaitAll and Quiesce
+// may block, Bump acquires the package mutex — are exported as facts,
+// and the serve-side fixture hcx is reported at its call sites only
+// when those facts crossed the package boundary.
+package hcdep
+
+import "sync"
+
+var mu sync.Mutex
+
+// WaitAll blocks on the group.
+func WaitAll(wg *sync.WaitGroup) {
+	wg.Wait()
+}
+
+// Quiesce drains the channel.
+func Quiesce(ch chan int) {
+	for range ch {
+	}
+}
+
+// Bump takes this package's lock.
+func Bump() {
+	mu.Lock()
+	defer mu.Unlock()
+}

@@ -1,0 +1,22 @@
+// Fixture for the suppression audit over the hostconc family: the
+// directive in daemon suppresses a real goroutinelife diagnostic and
+// survives; the directive in fixed suppresses nothing — the leak it
+// documented was fixed — and is reported stale.
+package hcallow
+
+// daemon's monitor legitimately runs for the process lifetime.
+func daemon() {
+	//lint:allow goroutinelife the monitor runs for the process lifetime and exits with it
+	go func() {
+		for {
+		}
+	}()
+}
+
+// fixed now selects on its done channel; the directive is stale.
+func fixed(done chan struct{}) {
+	//lint:allow goroutinelife this exception documented a leak that was fixed long ago
+	go func() {
+		<-done
+	}()
+}

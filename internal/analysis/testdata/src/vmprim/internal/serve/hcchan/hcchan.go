@@ -1,0 +1,113 @@
+// Fixture for chanprotocol: close ownership, sends on possibly-closed
+// channels, and loop-captured variables in go/defer closures.
+package hcchan
+
+// doubleClose closes the same channel twice on one path.
+func doubleClose(ch chan int) {
+	close(ch)
+	close(ch) // want `close of ch, which an earlier point on this path may already have closed \(a second close panics\)`
+}
+
+// sendAfterClose sends on a channel this path closed.
+func sendAfterClose(ch chan int) {
+	close(ch)
+	ch <- 1 // want `send on ch, which some path may already have closed \(a send on a closed channel panics\)`
+}
+
+// maybeClosed sends after only one branch closed: the analyzer takes
+// the union, matching the runtime's worst case.
+func maybeClosed(ch chan int, done bool) {
+	if done {
+		close(ch)
+	}
+	ch <- 1 // want `send on ch, which some path may already have closed`
+}
+
+// trySend is the same union through a select's comm clause.
+func trySend(ch chan int, done bool) {
+	if done {
+		close(ch)
+	}
+	select {
+	case ch <- 1: // want `send on ch, which some path may already have closed`
+	default:
+	}
+}
+
+// closeAll closes a loop-independent channel once per iteration.
+func closeAll(chans []chan int, victim chan int) {
+	for range chans {
+		close(victim) // want `close of victim inside a loop runs on every iteration \(the second close panics\)`
+	}
+}
+
+// captureRace's goroutine reads a variable later iterations write.
+func captureRace(items []int) {
+	var last int
+	for _, it := range items {
+		last = it
+		go func() {
+			_ = last // want `go closure captures last, which the loop body writes on every iteration; the goroutine's read races with later iterations — pass it as an argument instead`
+		}()
+	}
+}
+
+// deferCapture's closures all observe the final value.
+func deferCapture(files []string) {
+	var cur string
+	for _, f := range files {
+		cur = f
+		defer func() {
+			_ = cur // want `deferred closure captures cur, which the loop keeps writing; every deferred call will observe only the final value — pass it as an argument instead`
+		}()
+	}
+}
+
+// closeOrSend diverges after the close: the send path is clean.
+func closeOrSend(ch chan int, done bool) {
+	if done {
+		close(ch)
+		return
+	}
+	ch <- 1
+}
+
+// recycle remakes the channel after closing it: the new channel is a
+// different object and the send is clean.
+func recycle(ch chan int) chan int {
+	close(ch)
+	ch = make(chan int, 1)
+	ch <- 1
+	return ch
+}
+
+// closeEach closes the range variable: a different channel every
+// iteration. Clean.
+func closeEach(chans []chan int) {
+	for _, ch := range chans {
+		close(ch)
+	}
+}
+
+// captureFixed passes the loop-written value as an argument. Clean.
+func captureFixed(items []int) {
+	var last int
+	for _, it := range items {
+		last = it
+		go func(v int) {
+			_ = v
+		}(last)
+	}
+}
+
+type wrap struct{ ch chan int }
+
+// close here is a method, not the builtin: calling it twice makes no
+// intra-procedural protocol claim (the real broadcaster's close
+// method is idempotent under its mutex).
+func (w *wrap) close() { close(w.ch) }
+
+func shutdown(w *wrap) {
+	w.close()
+	w.close()
+}

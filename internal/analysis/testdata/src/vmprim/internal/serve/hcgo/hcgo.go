@@ -1,0 +1,93 @@
+// Fixture for goroutinelife: go statements with and without a
+// termination obligation, in the shapes the daemon and the load
+// driver use.
+package hcgo
+
+import (
+	"context"
+	"sync"
+)
+
+// spinForever has no exit at all.
+func spinForever() {
+	var work int
+	go func() { // want `goroutine has no termination obligation: select on a done channel, pair it with a sync\.WaitGroup Done, or annotate //lint:allow goroutinelife <reason>`
+		for {
+			work++
+		}
+	}()
+	_ = work
+}
+
+// spinInts receives, but not from a done-signal channel: the blessed
+// consume shape is a range, which exits when the owner closes.
+func spinInts(ch chan int) {
+	go func() { // want `goroutine has no termination obligation`
+		for {
+			_ = <-ch
+		}
+	}()
+}
+
+// sendResult is the vmprimd adapter shape without its annotation.
+func sendResult(ch chan int) {
+	go func() { ch <- 1 }() // want `goroutine has no termination obligation`
+}
+
+// churn never terminates, and spawnChurn is told so by name.
+func churn() {
+	for {
+	}
+}
+
+func spawnChurn() {
+	go churn() // want `goroutine has no termination obligation: churn neither receives from a done channel nor signals a sync\.WaitGroup; add one or annotate //lint:allow goroutinelife <reason>`
+}
+
+// spawn runs an opaque function value the analyzer cannot see into.
+func spawn(f func()) {
+	go f() // want `goroutine runs a function value, whose termination this analyzer cannot prove; wrap it in a closure with a done-channel select or annotate //lint:allow goroutinelife <reason>`
+}
+
+// worker selects on a done channel. Clean.
+func worker(done chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// ctxWorker's done channel is the context's. Clean.
+func ctxWorker(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// fanOut pairs every goroutine with the group. Clean.
+func fanOut(wg *sync.WaitGroup, n int) {
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+}
+
+// consume ranges over the channel; both spawn forms inherit its
+// obligation through the same-package summary. Clean.
+func consume(ch chan int) {
+	for range ch {
+	}
+}
+
+func spawnConsume(ch chan int) {
+	go consume(ch)
+	go func() { consume(ch) }()
+}

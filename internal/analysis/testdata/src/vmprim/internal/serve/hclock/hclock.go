@@ -1,0 +1,202 @@
+// Fixture for lockdiscipline: every diagnostic the analyzer can
+// produce, positive and negative, written in the shapes the real
+// serving plane uses. The package path sits beneath
+// vmprim/internal/serve, so the whole file is in the family's
+// diagnostic scope.
+package hclock
+
+import (
+	"sync"
+
+	"vmprim/internal/hypercube"
+)
+
+type broadcaster struct {
+	mu      sync.Mutex
+	subs    map[int]chan int
+	dropped int
+}
+
+// leakOnReturn misses the Unlock on the early exit.
+func (b *broadcaster) leakOnReturn(stop bool) {
+	b.mu.Lock()
+	if stop {
+		return // want `return leaves b\.mu locked on this path \(Unlock is not deferred and this exit misses it\)`
+	}
+	b.mu.Unlock()
+}
+
+// leakToEnd never unlocks at all.
+func (b *broadcaster) leakToEnd() {
+	b.mu.Lock()
+	b.dropped++
+} // want `function ends with b\.mu still locked \(Lock without a matching Unlock\)`
+
+// doubleLock re-acquires a mutex it already holds.
+func (b *broadcaster) doubleLock() {
+	b.mu.Lock()
+	b.mu.Lock() // want `Lock of b\.mu while already held on this path \(sync\.Mutex is not reentrant: this self-deadlocks\)`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// spuriousUnlock releases a mutex no path acquired.
+func (b *broadcaster) spuriousUnlock() {
+	b.mu.Unlock() // want `Unlock of b\.mu without a matching Lock on this path`
+}
+
+// sendLocked performs an unbuffered-send wait while holding the lock.
+func (b *broadcaster) sendLocked(ch chan int) {
+	b.mu.Lock()
+	ch <- 1 // want `a send on ch while b\.mu is held \(a blocked holder stalls every contender; release the lock first or make the operation non-blocking\)`
+	b.mu.Unlock()
+}
+
+// recvLocked parks on a channel peer while holding the lock.
+func (b *broadcaster) recvLocked(ch chan int) int {
+	b.mu.Lock()
+	v := <-ch // want `a receive from ch while b\.mu is held`
+	b.mu.Unlock()
+	return v
+}
+
+// waitLocked blocks on a WaitGroup while holding the lock.
+func (b *broadcaster) waitLocked(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Wait() // want `a sync\.WaitGroup Wait while b\.mu is held`
+}
+
+// runLocked runs a whole simulation while holding the lock. The
+// mutex is a plain sync.Mutex variable, which has no cross-function
+// identity — the blocking check still fires.
+func runLocked(mu *sync.Mutex, m *hypercube.Machine) {
+	mu.Lock()
+	defer mu.Unlock()
+	m.Run(func(p *hypercube.Proc) {}) // want `a Machine\.Run while mu is held`
+}
+
+// selectLocked waits on peers with no default while holding the lock.
+func (b *broadcaster) selectLocked(ch chan int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `a select with no default case while b\.mu is held`
+	case v := <-ch:
+		b.dropped = v
+	case ch <- 1:
+	}
+}
+
+// drain blocks by construction; drainLocked inherits that through the
+// same-package summary.
+func (b *broadcaster) drain(ch chan int) {
+	for range ch {
+	}
+}
+
+func (b *broadcaster) drainLocked(ch chan int) {
+	b.mu.Lock()
+	b.drain(ch) // want `a call to broadcaster\.drain, which may block \(a range over channel ch\) while b\.mu is held`
+	b.mu.Unlock()
+}
+
+// get self-locks; calling it with the lock held self-deadlocks.
+func (b *broadcaster) get(k int) chan int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.subs[k]
+}
+
+func (b *broadcaster) doubleAcquire(k int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.get(k) // want `call to get acquires b\.mu, which is already held on this path \(sync\.Mutex is not reentrant: this self-deadlocks\)`
+}
+
+// deferInLoop registers one Unlock per iteration but pays them all at
+// function return.
+func (b *broadcaster) deferInLoop(n int) {
+	for i := 0; i < n; i++ { // want `loop body changes the hold depth of b\.mu by 1 per iteration`
+		b.mu.Lock()
+		defer b.mu.Unlock() // want `deferred Unlock of b\.mu inside a loop runs at function return, not at iteration end`
+	}
+}
+
+// branchSkew unlocks on one arm only.
+func (b *broadcaster) branchSkew(c bool) {
+	b.mu.Lock()
+	if c { // want `lock state of b\.mu differs between the branches of this if \(one side is missing a Lock or Unlock\)`
+		b.mu.Unlock()
+	}
+	b.dropped++
+}
+
+// publish mirrors the real broadcaster: the send is wrapped in a
+// select with a default, so no path blocks under b.mu. Clean.
+func (b *broadcaster) publish(v int) {
+	b.mu.Lock()
+	for _, ch := range b.subs {
+		select {
+		case ch <- v:
+		default:
+			b.dropped++
+		}
+	}
+	b.mu.Unlock()
+}
+
+// subscribe is the defer-balanced shape. Clean.
+func (b *broadcaster) subscribe(k int) chan int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ch := make(chan int, 1)
+	b.subs[k] = ch
+	return ch
+}
+
+// evict mirrors the registry: remove under the lock, close outside
+// it. close never blocks and the lock is released first. Clean.
+func (b *broadcaster) evict(k int) {
+	b.mu.Lock()
+	ch := b.subs[k]
+	delete(b.subs, k)
+	b.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+type server struct {
+	mu    sync.Mutex
+	queue chan int
+}
+
+// enqueue mirrors handleSubmit: layered locking on two different
+// mutexes, a select with a default, and Unlocks inside the case
+// bodies. Clean on both mutexes.
+func (s *server) enqueue(b *broadcaster, v int) bool {
+	s.mu.Lock()
+	b.mu.Lock()
+	b.dropped = v
+	b.mu.Unlock()
+	select {
+	case s.queue <- v:
+		s.mu.Unlock()
+		return true
+	default:
+		s.mu.Unlock()
+		return false
+	}
+}
+
+type gauge struct {
+	mu  sync.RWMutex
+	val int
+}
+
+// read exercises the RWMutex read-side pair. Clean.
+func (g *gauge) read() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}

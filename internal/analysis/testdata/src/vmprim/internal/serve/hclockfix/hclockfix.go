@@ -1,0 +1,25 @@
+// Fixture for lockdiscipline's suggested fix: the forgotten-defer
+// shape (one top-level Lock, no Unlock anywhere) gets the idiomatic
+// `defer c.mu.Unlock()` inserted right after the Lock. The .golden
+// sibling holds the expected output of vmlint -fix.
+package hclockfix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump locks and never releases on any exit.
+func (c *counter) Bump() {
+	c.mu.Lock()
+	c.n++
+} // want `function ends with c\.mu still locked \(Lock without a matching Unlock\)`
+
+// Clean already defers; it must survive -fix byte for byte.
+func (c *counter) Clean() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}

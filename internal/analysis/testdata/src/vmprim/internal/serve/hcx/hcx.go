@@ -1,0 +1,49 @@
+// Fixture for lockdiscipline's cross-package reach: the blocking
+// behavior of hcdep's helpers arrives as hostconc facts, and the
+// diagnostics land here, at the call sites under the held lock. With
+// facts disabled both findings must vanish.
+package hcx
+
+import (
+	"sync"
+
+	"vmprim/internal/other/hcdep"
+)
+
+type pool struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+// flushLocked drains a channel through another package's helper while
+// holding the lock.
+func (p *pool) flushLocked(ch chan int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	hcdep.Quiesce(ch) // want `a call to Quiesce, which may block \(a range over channel ch\) while p\.mu is held`
+}
+
+// waitLocked waits on the group through another package's helper
+// while holding the lock.
+func (p *pool) waitLocked() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	hcdep.WaitAll(&p.wg) // want `a call to WaitAll, which may block \(a sync\.WaitGroup Wait\) while p\.mu is held`
+}
+
+// waitOutside releases the lock first. Clean.
+func (p *pool) waitOutside() {
+	p.mu.Lock()
+	p.mu.Unlock()
+	hcdep.WaitAll(&p.wg)
+}
+
+var gmu sync.Mutex
+
+// bumpUnderOther holds this package's lock while hcdep.Bump takes its
+// own package-level mutex: different locks, layered legally. Clean.
+func bumpUnderOther() {
+	gmu.Lock()
+	defer gmu.Unlock()
+	hcdep.Bump()
+}

@@ -34,6 +34,14 @@ const (
 	FacadePath   = "vmprim"
 	ExamplesPath = "vmprim/examples"
 	CmdPath      = "vmprim/cmd"
+
+	// The host-concurrent packages: the serving plane and its load
+	// driver, audited by the hostconc analyzer family (which also
+	// covers the pool/stream files of HypercubePath).
+	ServePath   = "vmprim/internal/serve"
+	MetricsPath = "vmprim/internal/metrics"
+	VmprimdPath = "vmprim/cmd/vmprimd"
+	VmloadPath  = "vmprim/cmd/vmload"
 )
 
 // InScope reports whether pkgPath is one of the listed audit roots or

@@ -5,9 +5,11 @@ import (
 	"testing"
 
 	"vmprim/internal/costmodel"
+	"vmprim/internal/testutil"
 )
 
 func TestMachinePoolHitMissEvict(t *testing.T) {
+	defer testutil.CheckLeaks(t, testutil.Snapshot())
 	mp := NewMachinePool(2)
 	defer mp.Close()
 	k4 := PoolKey{Dim: 2, Params: costmodel.CM2()}
@@ -52,15 +54,23 @@ func TestMachinePoolHitMissEvict(t *testing.T) {
 	if st.Evictions != 1 || st.Idle != 2 {
 		t.Fatalf("stats after overflow: %+v, want 1 eviction, 2 idle", st)
 	}
-	if _, hit, _ := mp.Acquire(k4); hit {
+	// The pool's Close only retires idle machines, so these acquired
+	// ones are ours to close — the leak check holds us to it.
+	m5, hit, _ := mp.Acquire(k4)
+	if hit {
 		t.Fatalf("evicted key still hit the pool")
 	}
-	if _, hit, _ := mp.Acquire(kIpsc); !hit {
+	defer m5.Close()
+	m6, hit, _ := mp.Acquire(kIpsc)
+	if !hit {
 		t.Fatalf("recently released key missed the pool")
 	}
-	if _, hit, _ := mp.Acquire(k8); !hit {
+	defer m6.Close()
+	m7, hit, _ := mp.Acquire(k8)
+	if !hit {
 		t.Fatalf("most recently released key missed the pool")
 	}
+	defer m7.Close()
 	st = mp.Stats()
 	if st.Hits != 3 || st.Misses != 4 {
 		t.Fatalf("final stats %+v, want 3 hits / 4 misses", st)
@@ -70,6 +80,7 @@ func TestMachinePoolHitMissEvict(t *testing.T) {
 // Pooled machines must still run correctly after a round trip, and the
 // pool must tolerate concurrent acquire/release traffic.
 func TestMachinePoolConcurrentRuns(t *testing.T) {
+	defer testutil.CheckLeaks(t, testutil.Snapshot())
 	mp := NewMachinePool(2)
 	defer mp.Close()
 	key := PoolKey{Dim: 2, Params: costmodel.CM2()}

@@ -5,6 +5,7 @@ import (
 
 	"vmprim/internal/costmodel"
 	"vmprim/internal/obs"
+	"vmprim/internal/testutil"
 )
 
 // streamWorkload runs a small multi-collective SPMD program: a few
@@ -23,6 +24,7 @@ func streamWorkload(p *Proc) {
 }
 
 func TestStreamEventsWellFormed(t *testing.T) {
+	defer testutil.CheckLeaks(t, testutil.Snapshot())
 	m := MustNew(3, costmodel.CM2())
 	defer m.Close()
 	m.EnableProfile(true)
@@ -95,6 +97,7 @@ func TestStreamEventsWellFormed(t *testing.T) {
 // Streaming must not perturb the simulation: elapsed time, clocks and
 // link loads are bit-identical with the sink attached or not.
 func TestStreamDoesNotPerturbSim(t *testing.T) {
+	defer testutil.CheckLeaks(t, testutil.Snapshot())
 	run := func(sink obs.StreamSink) (costmodel.Time, []costmodel.Time) {
 		m := MustNew(3, costmodel.CM2())
 		defer m.Close()
@@ -125,6 +128,7 @@ func TestStreamDoesNotPerturbSim(t *testing.T) {
 // Without profiling, span events stay off but the run summary still
 // streams; detaching the sink stops emission entirely.
 func TestStreamGating(t *testing.T) {
+	defer testutil.CheckLeaks(t, testutil.Snapshot())
 	m := MustNew(2, costmodel.CM2())
 	defer m.Close()
 	var events []obs.StreamEvent

@@ -14,6 +14,7 @@ import (
 
 	"vmprim/internal/bench"
 	"vmprim/internal/hypercube"
+	"vmprim/internal/testutil"
 )
 
 // testSpec is the small workload the tests submit: every primitive on
@@ -22,6 +23,14 @@ var testSpec = bench.RunSpec{Exp: "E1", D: 4, N: 64}
 
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
+	// Registered before the close cleanup below so it runs after it
+	// (cleanups are LIFO): by the time the leak check polls, Close has
+	// already signalled the workers and every run's broadcaster.
+	before := testutil.Snapshot()
+	t.Cleanup(func() {
+		http.DefaultClient.CloseIdleConnections()
+		testutil.CheckLeaks(t, before)
+	})
 	s := New(opts)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {

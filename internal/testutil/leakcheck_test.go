@@ -1,0 +1,58 @@
+package testutil
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeTB records the failure CheckLeaks reports instead of failing
+// the real test.
+type fakeTB struct {
+	testing.TB
+	failed bool
+	msg    string
+}
+
+func (f *fakeTB) Helper() {}
+
+func (f *fakeTB) Errorf(format string, args ...any) {
+	f.failed = true
+	f.msg = fmt.Sprintf(format, args...)
+}
+
+// TestCheckLeaksCatchesLeak: a goroutine parked past the grace period
+// is reported with its signature.
+func TestCheckLeaksCatchesLeak(t *testing.T) {
+	old := leakGrace
+	leakGrace = 100 * time.Millisecond
+	defer func() { leakGrace = old }()
+
+	before := Snapshot()
+	stop := make(chan struct{})
+	go func() { <-stop }()
+
+	f := &fakeTB{}
+	CheckLeaks(f, before)
+	close(stop)
+	if !f.failed {
+		t.Fatal("parked goroutine not reported as a leak")
+	}
+	if !strings.Contains(f.msg, "TestCheckLeaksCatchesLeak") {
+		t.Errorf("leak report does not name the spawning test: %q", f.msg)
+	}
+}
+
+// TestCheckLeaksAllowsAsyncExit: a goroutine that finishes within the
+// grace period is not a leak — Close is a signal, not a join.
+func TestCheckLeaksAllowsAsyncExit(t *testing.T) {
+	before := Snapshot()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	CheckLeaks(t, before)
+	<-done
+}

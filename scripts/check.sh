@@ -76,6 +76,14 @@ go test -race ./internal/...
 # under the race detector: the span recorder runs on every processor
 # goroutine, so races here would be real simulator bugs.
 go test -race -run 'Profile|Span|Congestion|LinkVolumes' ./internal/hypercube/ ./internal/obs/
+# Host-concurrency race gate: the serving plane (SSE broadcaster,
+# run registry, worker pool), the metrics registry and the vmload
+# harness are the packages the hostconc analyzers police statically;
+# this runs their goroutine-dense tests — including the SSE
+# subscribe/unsubscribe churn — with the race detector watching the
+# same code dynamically. (./internal/... above already covers serve
+# and metrics; this line pins the contract and adds cmd/vmload.)
+go test -race ./internal/serve/ ./internal/metrics/ ./cmd/vmload/
 
 # End-to-end profiled run: the JSON profile on stdout must parse, and
 # the Chrome trace written next to it must parse, or the exporters
